@@ -1,0 +1,18 @@
+"""Bench: Figure 1 — depth and d_eff are imperfect LER predictors."""
+
+from repro.experiments import fig01_predictors
+
+
+def test_fig01_predictors(experiment):
+    result = experiment(
+        fig01_predictors.run, d=5, p=3e-3, shots=4000, deff_samples=20
+    )
+    rows = {r["schedule"]: r for r in result.rows}
+    good = rows["nz (hand, depth-min)"]
+    poor = rows["poor (depth-min)"]
+    # (a) equal depth, different LER: depth alone does not predict.
+    assert good["cnot_depth"] == poor["cnot_depth"]
+    assert poor["logical_error_rate"] > 1.5 * good["logical_error_rate"]
+    # (b) the poor schedule's d_eff is reduced below d.
+    assert poor["deff"] < 5
+    assert good["deff"] == 5

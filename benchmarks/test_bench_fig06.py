@@ -1,0 +1,19 @@
+"""Bench: Figure 6 — good vs poor d=3 schedule over a p sweep."""
+
+from repro.experiments import fig06_schedules
+
+
+def test_fig06_schedule_comparison(experiment):
+    result = experiment(
+        fig06_schedules.run,
+        p_values=(1e-3, 3e-3, 8e-3),
+        shots=8000,
+    )
+    by_key = {(r["schedule"], r["p"]): r["logical_error_rate"] for r in result.rows}
+    for p in (1e-3, 3e-3, 8e-3):
+        good = by_key[("good (N-Z)", p)]
+        poor = by_key[("poor", p)]
+        assert poor > good, f"poor schedule should lose at p={p}"
+    deffs = {r["schedule"]: r["deff"] for r in result.rows}
+    assert deffs["good (N-Z)"] == 3
+    assert deffs["poor"] == 2

@@ -1,0 +1,19 @@
+"""Bench: Figure 13 — robustness over random coloration starts."""
+
+from repro.experiments import fig13_random_starts
+
+
+def test_fig13_random_starts(experiment):
+    result = experiment(
+        fig13_random_starts.run,
+        code_name="surface_d3",
+        num_starts=3,
+        p=3e-3,
+        shots=6000,
+        iterations=3,
+        samples=24,
+    )
+    assert len(result.rows) == 3
+    improved = [r for r in result.rows if r["end_rate"] <= r["start_rate"] * 1.15]
+    # Consistent improvement: allow one noisy outlier at bench shot counts.
+    assert len(improved) >= 2, result.format_table()

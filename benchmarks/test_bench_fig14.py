@@ -1,0 +1,20 @@
+"""Bench: Figure 14 — subgraph solve scaling with d_eff."""
+
+from repro.experiments import fig14_scaling
+
+
+def test_fig14_scaling(experiment):
+    result = experiment(
+        fig14_scaling.run,
+        codes=("surface_d3", "surface_d5"),
+        samples_per_code=15,
+    )
+    assert result.rows
+    # Model size should grow with the weight of the logical error found.
+    by_code = {}
+    for row in result.rows:
+        by_code.setdefault(row["code"], []).append(row)
+    for code, rows in by_code.items():
+        rows.sort(key=lambda r: r["deff_weight"])
+        if len(rows) >= 2:
+            assert rows[-1]["mean_variables"] >= rows[0]["mean_variables"]

@@ -1,0 +1,25 @@
+"""Bench: Figure 15 — idle-error sensitivity study."""
+
+from repro.experiments import fig15_idle
+
+
+def test_fig15_idle_sensitivity(experiment):
+    result = experiment(
+        fig15_idle.run,
+        code_name="surface_d3",
+        idle_strengths=(0.0, 1e-3, 1e-2),
+        shots=5000,
+    )
+    by_circuit = {}
+    for row in result.rows:
+        by_circuit.setdefault(row["circuit"], []).append(row)
+    # Idle noise must hurt every circuit monotonically-in-aggregate.
+    for circuit, rows in by_circuit.items():
+        rows.sort(key=lambda r: r["idle_strength"])
+        assert rows[-1]["logical_error_rate"] >= rows[0]["logical_error_rate"]
+    # At realistic idle strengths the good shallow circuit beats the poor
+    # shallow circuit (quality dominates depth — the paper's conclusion).
+    for strength_rows in zip(*(by_circuit[c] for c in by_circuit)):
+        rates = {r["circuit"]: r["logical_error_rate"] for r in strength_rows}
+        if rates.get("good (depth 4)") is not None and strength_rows[0]["idle_strength"] <= 1e-3:
+            assert rates["good (depth 4)"] <= rates["poor (depth 4)"] * 1.2

@@ -1,0 +1,8 @@
+"""Bench: Table 1 — the benchmark code suite parameters."""
+
+from repro.experiments import table1_codes
+
+
+def test_table1_code_suite(experiment):
+    result = experiment(table1_codes.run, distance_iterations=80)
+    assert all(row["match"] for row in result.rows), result.format_table()

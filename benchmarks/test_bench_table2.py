@@ -1,0 +1,23 @@
+"""Bench: Table 2 — MaxSAT model sizes, global vs subgraph."""
+
+from repro.experiments import table2_models
+
+
+def test_table2_model_sizes(experiment):
+    result = experiment(
+        table2_models.run,
+        codes=("lp39", "surface_d7", "rqt60"),
+        global_timeout=4.0,
+    )
+    by_form = {}
+    for row in result.rows:
+        by_form.setdefault(row["formulation"], []).append(row)
+    assert len(by_form["global"]) == 3
+    for g in by_form["global"]:
+        subs = [s for s in by_form["subgraph"] if s["code"] == g["code"]]
+        assert subs, f"missing subgraph row for {g['code']}"
+        s = subs[0]
+        # The paper's point: orders-of-magnitude smaller models.
+        assert s["variables"] * 20 < g["variables"]
+        assert s["hard_clauses"] * 20 < g["hard_clauses"]
+        assert s["status"] == "optimal"

@@ -1,0 +1,67 @@
+"""Hook-ZNE: error mitigation from intermediate SM circuits (paper §7).
+
+Two parts:
+
+1. the paper's Figure 16b evaluation — DS-ZNE vs Hook-ZNE bias under a
+   shared 20,000-shot budget at suppression factor Lambda = 2;
+2. the systems path — run PropHunt on a real code and show that its
+   intermediate schedules form a monotone ladder of logical error rates,
+   i.e. genuine fine-grained noise dials at fixed distance and qubit
+   count.
+
+Usage:  python examples/hook_zne_demo.py
+Runtime: a couple of minutes.
+"""
+
+import numpy as np
+
+from repro.circuits import poor_schedule
+from repro.codes import rotated_surface_code
+from repro.core import PropHunt, PropHuntConfig
+from repro.zne import (
+    DS_ZNE_DISTANCE_SETS,
+    DistanceScalingZNE,
+    HOOK_ZNE_DISTANCE_SETS,
+    HookZNE,
+    noise_dials_from_prophunt,
+)
+
+
+def bias_comparison() -> None:
+    lam, shots, trials = 2.0, 20_000, 50
+    rng = np.random.default_rng(0)
+    ds = DistanceScalingZNE(lam=lam)
+    hook = HookZNE(lam=lam)
+    print(f"DS-ZNE vs Hook-ZNE bias (Lambda={lam}, {shots} shots, {trials} trials)")
+    print(f"{'DS distances':>18s} {'DS bias':>10s} {'Hook distances':>22s} {'Hook bias':>10s}")
+    for ds_set, hook_set in zip(DS_ZNE_DISTANCE_SETS, HOOK_ZNE_DISTANCE_SETS):
+        ds_bias = np.mean([ds.run(ds_set, shots, rng).bias for _ in range(trials)])
+        hook_bias = np.mean(
+            [hook.run(hook_set, shots, rng).bias for _ in range(trials)]
+        )
+        print(
+            f"{str(ds_set):>18s} {ds_bias:10.4f} {str(hook_set):>22s} "
+            f"{hook_bias:10.4f}   ({ds_bias / hook_bias:.1f}x better)"
+        )
+
+
+def real_noise_dials() -> None:
+    print("\nReal noise dials from a PropHunt run (d=3 surface, p=3e-3):")
+    code = rotated_surface_code(3)
+    config = PropHuntConfig(iterations=4, samples_per_iteration=30, seed=1)
+    result = PropHunt(code, config).optimize(poor_schedule(code))
+    dials = noise_dials_from_prophunt(
+        result, p=3e-3, shots=6000, rng=np.random.default_rng(0)
+    )
+    for iteration, rate in dials:
+        bar = "#" * max(1, int(rate * 2500))
+        print(f"  circuit {iteration}: LER = {rate:.3e}  {bar}")
+    print(
+        "Each intermediate circuit is a noise setting at fixed d and fixed "
+        "qubit count — the dial Hook-ZNE turns."
+    )
+
+
+if __name__ == "__main__":
+    bias_comparison()
+    real_noise_dials()

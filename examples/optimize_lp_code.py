@@ -1,0 +1,77 @@
+"""Optimize an LDPC code with no known hand-designed SM circuit.
+
+This is PropHunt's real value proposition (paper §6.1): for lifted
+product and quantum Tanner codes nobody has designed good schedules by
+hand, and the coloration baseline leaves 2.5-4x of logical error rate on
+the table.  The script optimizes the [[39,3,3]] lifted product code and
+decodes with BP+OSD.
+
+Usage:  python examples/optimize_lp_code.py  [--code rqt60]
+Runtime: several minutes.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.deff import estimate_effective_distance
+from repro.circuits import coloration_schedule
+from repro.codes import load_benchmark_code
+from repro.core import PropHunt, PropHuntConfig
+from repro.decoders import estimate_logical_error_rate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--code", default="lp39", help="benchmark code name")
+    parser.add_argument("--iterations", type=int, default=4)
+    parser.add_argument("--samples", type=int, default=30)
+    parser.add_argument("--shots", type=int, default=4000)
+    parser.add_argument("--p", type=float, default=1e-3)
+    args = parser.parse_args()
+
+    code = load_benchmark_code(args.code)
+    print(f"Code: {code.label()}, stabilizer weights "
+          f"{sorted(set(code.stabilizer_weights()['x'] + code.stabilizer_weights()['z']))}")
+
+    start = coloration_schedule(code)
+    print(f"Coloration circuit: CNOT depth {start.cnot_depth()}")
+
+    rng = np.random.default_rng(0)
+    deff0 = estimate_effective_distance(code, start, samples=30, rng=rng)
+    print(f"Starting d_eff estimate: {deff0.deff} (weights seen: {deff0.weights_seen})")
+
+    config = PropHuntConfig(
+        iterations=args.iterations, samples_per_iteration=args.samples, seed=1
+    )
+    print(f"\nRunning PropHunt ({config.iterations} x {config.samples_per_iteration})...")
+    result = PropHunt(code, config).optimize(start)
+    for record in result.history:
+        print(
+            f"  iteration {record.iteration}: {record.ambiguous_found} subgraphs, "
+            f"min weight {record.min_logical_weight}, "
+            f"applied {record.changes_applied}, depth {record.cnot_depth}"
+        )
+
+    deff1 = estimate_effective_distance(
+        code, result.final_schedule, samples=30, rng=rng
+    )
+    print(f"Final d_eff estimate: {deff1.deff} (weights seen: {deff1.weights_seen})")
+
+    print(f"\nEvaluating at p = {args.p:g} with BP+OSD ({args.shots} shots/basis)...")
+    before = estimate_logical_error_rate(
+        code, start, p=args.p, shots=args.shots, decoder="bposd", rng=rng
+    )
+    after = estimate_logical_error_rate(
+        code, result.final_schedule, p=args.p, shots=args.shots,
+        decoder="bposd", rng=rng,
+    )
+    print(f"  coloration : LER = {before.rate:.3e}")
+    print(f"  PropHunt   : LER = {after.rate:.3e}")
+    if after.rate > 0:
+        print(f"  improvement: {before.rate / after.rate:.2f}x "
+              f"(paper reports 2.5-4x at p=0.1% with paper-scale budgets)")
+
+
+if __name__ == "__main__":
+    main()

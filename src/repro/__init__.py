@@ -1,0 +1,33 @@
+"""PropHunt reproduction: automated optimization of quantum syndrome
+measurement circuits (ASPLOS 2026).
+
+Public API quick tour::
+
+    from repro.codes import rotated_surface_code, load_benchmark_code
+    from repro.circuits import coloration_schedule, build_memory_experiment
+    from repro.core import PropHunt, PropHuntConfig
+    from repro.decoders import estimate_logical_error_rate
+    from repro.zne import HookZNE, DistanceScalingZNE
+
+See README.md for a narrative quickstart and DESIGN.md for the
+system inventory and per-experiment index.
+"""
+
+from . import analysis, circuits, codes, core, decoders, experiments, gf2, maxsat, noise, sim, zne
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "circuits",
+    "codes",
+    "core",
+    "decoders",
+    "experiments",
+    "gf2",
+    "maxsat",
+    "noise",
+    "sim",
+    "zne",
+    "__version__",
+]

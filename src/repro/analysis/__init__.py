@@ -1,0 +1,20 @@
+"""Analysis helpers: statistics and effective distance."""
+
+from .deff import DeffEstimate, estimate_effective_distance
+from .stats import (
+    RateEstimate,
+    fit_suppression_factor,
+    lambda_factor,
+    projected_logical_rate,
+    wilson_interval,
+)
+
+__all__ = [
+    "DeffEstimate",
+    "estimate_effective_distance",
+    "RateEstimate",
+    "fit_suppression_factor",
+    "lambda_factor",
+    "projected_logical_rate",
+    "wilson_interval",
+]

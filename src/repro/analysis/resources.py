@@ -1,0 +1,141 @@
+"""Resource and wall-clock estimation for SM circuits.
+
+Backs the §6.3 discussion: whether PropHunt's (possibly deeper) circuits
+cost real time depends on the hardware's layer durations.  A
+:class:`HardwareProfile` carries per-operation times; the estimator walks
+a built memory experiment and reports qubit counts, gate counts, layer
+counts, and the per-round execution time — the quantity whose ratio to
+coherence time is Figure 15's idle strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.builder import MemoryExperiment
+from ..circuits.gates import MEASURE_GATES, NOISE_GATES
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Per-operation durations in seconds, plus coherence time."""
+
+    name: str
+    two_qubit_gate_s: float
+    one_qubit_gate_s: float
+    measurement_s: float
+    reset_s: float
+    coherence_s: float
+    movement_per_layer_s: float = 0.0
+
+
+# The paper's three §6.3 reference platforms.
+NEUTRAL_ATOM = HardwareProfile(
+    name="neutral_atom",
+    two_qubit_gate_s=300e-9,
+    one_qubit_gate_s=100e-9,
+    measurement_s=1e-3,
+    reset_s=1e-3,
+    coherence_s=1.5,
+)
+SUPERCONDUCTING = HardwareProfile(
+    name="superconducting",
+    two_qubit_gate_s=30e-9,
+    one_qubit_gate_s=20e-9,
+    measurement_s=500e-9,
+    reset_s=250e-9,
+    coherence_s=100e-6,
+)
+NEUTRAL_ATOM_MOVEMENT = HardwareProfile(
+    name="neutral_atom_movement",
+    two_qubit_gate_s=300e-9,
+    one_qubit_gate_s=100e-9,
+    measurement_s=1e-3,
+    reset_s=1e-3,
+    coherence_s=1.5,
+    movement_per_layer_s=500e-6,
+)
+
+PROFILES = {
+    p.name: p for p in (NEUTRAL_ATOM, SUPERCONDUCTING, NEUTRAL_ATOM_MOVEMENT)
+}
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Static resources + estimated timing of one memory experiment."""
+
+    qubits: int
+    cnot_count: int
+    one_qubit_gate_count: int
+    measurement_count: int
+    layers: int
+    rounds: int
+    time_per_round_s: float
+    total_time_s: float
+    idle_strength: float  # layer time / coherence, Figure 15's x-axis
+
+    def __str__(self) -> str:
+        return (
+            f"qubits={self.qubits} cnots={self.cnot_count} "
+            f"layers={self.layers} time/round={self.time_per_round_s:.3e}s "
+            f"idle_strength={self.idle_strength:.2e}"
+        )
+
+
+def estimate_resources(
+    experiment: MemoryExperiment, profile: HardwareProfile
+) -> ResourceReport:
+    """Walk the circuit's TICK layers and price each one."""
+    circuit = experiment.circuit
+    total = 0.0
+    layers = 0
+    layer_cost = 0.0
+    layer_has_gates = False
+    per_layer_times: list[float] = []
+
+    def op_cost(gate: str) -> float:
+        if gate == "CNOT":
+            return profile.two_qubit_gate_s
+        if gate == "H":
+            return profile.one_qubit_gate_s
+        if gate in MEASURE_GATES:
+            return profile.measurement_s
+        if gate in ("R", "RX"):
+            return profile.reset_s
+        return 0.0
+
+    for op in circuit:
+        if op.gate == "TICK":
+            if layer_has_gates:
+                cost = layer_cost + profile.movement_per_layer_s
+                per_layer_times.append(cost)
+                total += cost
+                layers += 1
+            layer_cost = 0.0
+            layer_has_gates = False
+            continue
+        if op.gate in NOISE_GATES or op.gate in ("DETECTOR", "OBSERVABLE_INCLUDE"):
+            continue
+        layer_cost = max(layer_cost, op_cost(op.gate))
+        layer_has_gates = True
+    if layer_has_gates:
+        cost = layer_cost + profile.movement_per_layer_s
+        per_layer_times.append(cost)
+        total += cost
+        layers += 1
+
+    mean_layer = total / layers if layers else 0.0
+    return ResourceReport(
+        qubits=circuit.num_qubits,
+        cnot_count=circuit.count_gate("CNOT"),
+        one_qubit_gate_count=circuit.count_gate("H")
+        + circuit.count_gate("R")
+        + circuit.count_gate("RX"),
+        measurement_count=circuit.num_measurements,
+        layers=layers,
+        rounds=experiment.rounds,
+        time_per_round_s=total / experiment.rounds,
+        total_time_s=total,
+        idle_strength=mean_layer / profile.coherence_s,
+    )

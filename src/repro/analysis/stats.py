@@ -1,0 +1,84 @@
+"""Statistics helpers for logical-error-rate estimation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def wilson_interval(
+    failures: int, shots: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if shots == 0:
+        return (0.0, 1.0)
+    phat = failures / shots
+    denom = 1 + z * z / shots
+    center = (phat + z * z / (2 * shots)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1 - phat) / shots + z * z / (4 * shots * shots))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A binomial rate with its sampling context."""
+
+    failures: int
+    shots: int
+
+    @property
+    def rate(self) -> float:
+        return self.failures / self.shots if self.shots else 0.0
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return wilson_interval(self.failures, self.shots)
+
+    def combine_with(self, other: "RateEstimate") -> float:
+        """Failure-anywhere rate of two independent experiments."""
+        return 1.0 - (1.0 - self.rate) * (1.0 - other.rate)
+
+    def __repr__(self) -> str:
+        lo, hi = self.interval
+        return f"RateEstimate({self.rate:.3e} [{lo:.1e}, {hi:.1e}], shots={self.shots})"
+
+
+def lambda_factor(p_l_small: float, p_l_large: float) -> float:
+    """Error-suppression factor Lambda between consecutive distances.
+
+    Defined via P_L(d+2) = P_L(d) / Lambda (paper §7.1).
+    """
+    if p_l_large <= 0:
+        return math.inf
+    return p_l_small / p_l_large
+
+
+def projected_logical_rate(lam: float, d: float) -> float:
+    """P_L(d) = Lambda^{-(d+1)/2}, the paper's §7 scaling model."""
+    return lam ** (-(d + 1) / 2.0)
+
+
+def fit_suppression_factor(rates_by_distance: dict[int, float]) -> float:
+    """Fit Lambda from measured logical error rates at several distances.
+
+    Least-squares on ``log P_L(d) = -((d+1)/2) log Lambda + c`` — the
+    inverse of :func:`projected_logical_rate`, used to calibrate
+    Hook-ZNE's noise dials from real measurements.
+    """
+    points = [(d, p) for d, p in rates_by_distance.items() if p > 0]
+    if len(points) < 2:
+        raise ValueError("need rates at >= 2 distances with nonzero values")
+    xs = [-(d + 1) / 2.0 for d, _ in points]
+    ys = [math.log(p) for _, p in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        raise ValueError("distances are degenerate")
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / var_x
+    return math.exp(slope)

@@ -1,0 +1,29 @@
+"""SM-circuit IR, schedules, and builders."""
+
+from .builder import FINAL_ROUND, MemoryExperiment, build_memory_experiment
+from .circuit import Circuit
+from .coloration import bipartite_edge_coloring, coloration_schedule
+from .flags import build_flagged_memory_experiment
+from .gates import Operation
+from .schedule import Schedule
+from .serialize import schedule_from_json, schedule_to_json
+from .surface_sched import nz_schedule, poor_schedule
+from .text import circuit_from_text, circuit_to_text
+
+__all__ = [
+    "FINAL_ROUND",
+    "MemoryExperiment",
+    "build_memory_experiment",
+    "build_flagged_memory_experiment",
+    "Circuit",
+    "bipartite_edge_coloring",
+    "coloration_schedule",
+    "Operation",
+    "Schedule",
+    "schedule_from_json",
+    "schedule_to_json",
+    "nz_schedule",
+    "poor_schedule",
+    "circuit_from_text",
+    "circuit_to_text",
+]

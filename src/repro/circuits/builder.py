@@ -1,0 +1,186 @@
+"""Build memory-experiment circuits from a code + schedule.
+
+A memory experiment prepares all data qubits in the Z (or X) basis, runs
+``rounds`` rounds of the SM circuit, measures the data, and declares
+detectors (parity checks between consecutive syndrome measurements) and
+logical observables — exactly the circuit family the paper simulates for
+every logical-error-rate figure ("a standard circuit-level model of d
+rounds of the SM circuit", §6.1).
+
+Qubit layout: data qubits ``0 .. n-1``, X ancillas ``n .. n+mx-1``,
+Z ancillas ``n+mx .. n+mx+mz-1``.
+
+Every CNOT carries a ``label`` of the Tanner edge it implements,
+``("cnot", kind, stab, data_qubit, round)``; the noise model propagates
+labels onto the error channels so that PropHunt can map circuit-level
+errors back to schedule edges (§5.3).  Detectors are labelled
+``(round, kind, stab)`` (with round ``-1`` for the final data-parity
+detectors), a naming that is *stable across schedules* of the same code —
+the property §5.4's ambiguity-removal check relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..codes.css import CSSCode
+from .circuit import Circuit
+from .schedule import Schedule
+
+FINAL_ROUND = -1
+
+
+@dataclass
+class MemoryExperiment:
+    """A built memory circuit plus the bookkeeping to interpret it."""
+
+    circuit: Circuit
+    code: CSSCode
+    schedule: Schedule
+    rounds: int
+    basis: str
+    detector_labels: list[tuple] = field(default_factory=list)
+    observable_labels: list[tuple] = field(default_factory=list)
+
+    def detector_index(self, label: tuple) -> int:
+        return self.detector_labels.index(label)
+
+
+def _ancilla_index(code: CSSCode, kind: str, stab: int) -> int:
+    if kind == "x":
+        return code.n + stab
+    return code.n + code.num_x_stabs + stab
+
+
+def build_memory_experiment(
+    code: CSSCode,
+    schedule: Schedule,
+    rounds: int,
+    basis: str = "z",
+) -> MemoryExperiment:
+    """Build a noiseless memory experiment (apply a NoiseModel afterwards).
+
+    ``basis="z"`` protects the logical Z observables (detects X errors via
+    the Z stabilizers); ``basis="x"`` is the mirror experiment.  The
+    paper's reported logical error rates combine both (§6.1).
+    """
+    if basis not in ("x", "z"):
+        raise ValueError("basis must be 'x' or 'z'")
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    if not schedule.is_valid():
+        raise ValueError("schedule is invalid (commutation or cyclic dependency)")
+
+    n = code.n
+    mx, mz = code.num_x_stabs, code.num_z_stabs
+    circuit = Circuit()
+    cnot_layers = schedule.cnot_layers()
+
+    x_ancillas = [_ancilla_index(code, "x", s) for s in range(mx)]
+    z_ancillas = [_ancilla_index(code, "z", s) for s in range(mz)]
+
+    # Measurement bookkeeping: (round, kind, stab) -> absolute index.
+    meas_index: dict[tuple, int] = {}
+    meas_count = 0
+
+    def record(label: tuple) -> int:
+        nonlocal meas_count
+        meas_index[label] = meas_count
+        meas_count += 1
+        return meas_index[label]
+
+    detector_labels: list[tuple] = []
+    observable_labels: list[tuple] = []
+
+    for r in range(rounds):
+        # Reset layer: ancillas every round; data only in round 0.
+        if r == 0:
+            circuit.append("R" if basis == "z" else "RX", range(n), label=("data_init",))
+        for a in x_ancillas + z_ancillas:
+            circuit.append("R", [a], label=("anc_reset", r))
+        circuit.tick()
+
+        # Hadamards put X ancillas in |+> so their CNOTs act as X checks.
+        for s, a in enumerate(x_ancillas):
+            circuit.append("H", [a], label=("anc_h", "x", s, r))
+        circuit.tick()
+
+        for layer in cnot_layers:
+            for (kind, s, q) in layer:
+                anc = _ancilla_index(code, kind, s)
+                # X check: ancilla is control.  Z check: data is control.
+                pair = (anc, q) if kind == "x" else (q, anc)
+                circuit.append("CNOT", pair, label=("cnot", kind, s, q, r))
+            circuit.tick()
+
+        for s, a in enumerate(x_ancillas):
+            circuit.append("H", [a], label=("anc_h", "x", s, r))
+        circuit.tick()
+
+        for s, a in enumerate(x_ancillas):
+            circuit.append("M", [a], label=("anc_meas", "x", s, r))
+            record((r, "x", s))
+        for s, a in enumerate(z_ancillas):
+            circuit.append("M", [a], label=("anc_meas", "z", s, r))
+            record((r, "z", s))
+
+        # Detectors: in round 0 only the basis-aligned stabilizers are
+        # deterministic; afterwards every stabilizer is compared to its
+        # previous-round value.
+        for kind, count in (("x", mx), ("z", mz)):
+            for s in range(count):
+                label = (r, kind, s)
+                if r == 0:
+                    if kind == basis:
+                        circuit.append(
+                            "DETECTOR", [meas_index[(0, kind, s)]], label=label
+                        )
+                        detector_labels.append(label)
+                else:
+                    circuit.append(
+                        "DETECTOR",
+                        [meas_index[(r, kind, s)], meas_index[(r - 1, kind, s)]],
+                        label=label,
+                    )
+                    detector_labels.append(label)
+        circuit.tick()
+
+    # Final transversal data measurement in the memory basis.
+    for q in range(n):
+        circuit.append("M" if basis == "z" else "MX", [q], label=("data_meas", q))
+        record(("data", q))
+
+    stab_matrix = code.hz if basis == "z" else code.hx
+    kind = basis
+    last = rounds - 1
+    for s in range(stab_matrix.shape[0]):
+        support = np.nonzero(stab_matrix[s])[0]
+        targets = [meas_index[("data", int(q))] for q in support]
+        targets.append(meas_index[(last, kind, s)])
+        label = (FINAL_ROUND, kind, s)
+        circuit.append("DETECTOR", targets, label=label)
+        detector_labels.append(label)
+
+    logicals = code.lz if basis == "z" else code.lx
+    for i, row in enumerate(logicals):
+        support = np.nonzero(row)[0]
+        circuit.append(
+            "OBSERVABLE_INCLUDE",
+            [meas_index[("data", int(q))] for q in support],
+            args=[i],
+            label=("observable", basis, i),
+        )
+        observable_labels.append(("observable", basis, i))
+
+    circuit.validate()
+    return MemoryExperiment(
+        circuit=circuit,
+        code=code,
+        schedule=schedule,
+        rounds=rounds,
+        basis=basis,
+        detector_labels=detector_labels,
+        observable_labels=observable_labels,
+    )

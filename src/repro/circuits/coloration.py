@@ -1,0 +1,120 @@
+"""The coloration baseline circuit (paper §6.1).
+
+Following Algorithm 1 of Tremblay, Delfosse & Beverland (the baseline the
+paper optimizes from), each Tanner graph (X checks x data qubits, then Z
+checks x data qubits) is properly edge-colored; each color class becomes
+one CNOT layer.  Bipartite graphs are Vizing class 1, so Delta colors
+suffice (Konig's theorem) — we implement the classic alternating-path
+coloring.
+
+All X layers run before all Z layers.  Because overlapping X/Z stabilizer
+pairs share an even number of qubits in a CSS code, "X always first"
+automatically preserves stabilizer commutation, so every coloration
+circuit is valid.  Randomized variants (used for Figure 13) shuffle the
+edge insertion order and permute the color classes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..codes.css import CSSCode
+from .schedule import Schedule
+
+
+def bipartite_edge_coloring(
+    edges: list[tuple[int, int]],
+) -> dict[tuple[int, int], int]:
+    """Properly color edges of a bipartite (multi-free) graph.
+
+    ``edges`` are (left, right) pairs with distinct vertices on each side.
+    Returns edge -> color using at most Delta colors (Konig/Vizing class 1
+    via alternating-path recoloring).
+    """
+    left_used: dict[int, dict[int, int]] = defaultdict(dict)  # u -> color -> v
+    right_used: dict[int, dict[int, int]] = defaultdict(dict)  # v -> color -> u
+    degree: dict[tuple[str, int], int] = defaultdict(int)
+    for u, v in edges:
+        degree[("l", u)] += 1
+        degree[("r", v)] += 1
+    max_colors = max(degree.values(), default=0)
+    coloring: dict[tuple[int, int], int] = {}
+
+    def free_color(used: dict[int, int]) -> int:
+        for c in range(max_colors):
+            if c not in used:
+                return c
+        raise AssertionError("Konig's theorem violated — coloring bug")
+
+    def collect_alternating_path(
+        start_right: int, alpha: int, beta: int
+    ) -> list[tuple[tuple[int, int], int]]:
+        """Edges of the alpha/beta alternating path starting at a right vertex."""
+        path: list[tuple[tuple[int, int], int]] = []
+        side, vertex, color = "r", start_right, alpha
+        while True:
+            table = right_used if side == "r" else left_used
+            partner = table[vertex].get(color)
+            if partner is None:
+                return path
+            edge = (partner, vertex) if side == "r" else (vertex, partner)
+            path.append((edge, color))
+            vertex = partner
+            side = "l" if side == "r" else "r"
+            color = beta if color == alpha else alpha
+
+    for (u, v) in edges:
+        cu = free_color(left_used[u])
+        cv = free_color(right_used[v])
+        if cu != cv:
+            # Swap colors cu <-> cv along the alternating path from v; by
+            # Konig's theorem the path never reaches u, so afterwards cu is
+            # free at both endpoints.  Collect first, then recolor, so the
+            # walk never reads entries it has already rewritten.
+            path = collect_alternating_path(v, cu, cv)
+            for (pu, pv), old in path:
+                del left_used[pu][old]
+                del right_used[pv][old]
+            for (pu, pv), old in path:
+                new = cv if old == cu else cu
+                left_used[pu][new] = pv
+                right_used[pv][new] = pu
+                coloring[(pu, pv)] = new
+        coloring[(u, v)] = cu
+        left_used[u][cu] = v
+        right_used[v][cu] = u
+    return coloring
+
+
+def _tanner_edges(matrix: np.ndarray) -> list[tuple[int, int]]:
+    return [(int(s), int(q)) for s, q in zip(*np.nonzero(matrix))]
+
+
+def coloration_schedule(
+    code: CSSCode, rng: np.random.Generator | None = None
+) -> Schedule:
+    """Build the coloration-circuit schedule (optionally randomized).
+
+    Deterministic when ``rng`` is ``None``; otherwise the edge order and
+    color-class order are shuffled, producing the "random coloration
+    circuits" of Figure 13.
+    """
+    layer_of: dict[tuple[str, int, int], int] = {}
+    offset = 0
+    for kind, matrix in (("x", code.hx), ("z", code.hz)):
+        edges = _tanner_edges(matrix)
+        if rng is not None:
+            perm = rng.permutation(len(edges))
+            edges = [edges[i] for i in perm]
+        coloring = bipartite_edge_coloring(edges)
+        ncolors = max(coloring.values(), default=-1) + 1
+        color_order = (
+            list(rng.permutation(ncolors)) if rng is not None else list(range(ncolors))
+        )
+        rank = {int(c): i for i, c in enumerate(color_order)}
+        for (s, q), c in coloring.items():
+            layer_of[(kind, s, q)] = offset + rank[int(c)]
+        offset += ncolors
+    return Schedule.from_layer_assignment(code, layer_of)

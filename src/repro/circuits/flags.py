@@ -1,0 +1,220 @@
+"""Flag-qubit syndrome measurement circuits.
+
+The paper's related-work section points to flag fault tolerance
+(Chao-Reichardt; Chamberland-Beverland) as complementary: "future work
+could explore augmenting the circuits output by PropHunt with flag
+fault-tolerance".  This module implements that augmentation.
+
+For every stabilizer of weight >= ``min_flag_weight`` a flag qubit is
+coupled to the syndrome ancilla *after the first* and *before the last*
+data CNOT.  A hook error — an ancilla fault in the middle of the
+extraction, the very failure PropHunt reorders away — propagates onto the
+flag and fires a dedicated flag detector:
+
+* Z-type check (ancilla is CNOT target): dangerous ancilla Z faults
+  propagate onto a |+>-prepared flag via CNOT(flag -> ancilla) and are
+  read out by an X-basis flag measurement;
+* X-type check (ancilla is CNOT control): dangerous ancilla X faults
+  propagate onto a |0>-prepared flag via CNOT(ancilla -> flag) and are
+  read out in the Z basis.
+
+With flag detectors in the circuit-level model, previously undetected
+weight-floor(w/2) hooks need an extra fault to stay hidden, restoring
+``d_eff`` — at the price of extra qubits and two extra CNOT layers,
+the trade PropHunt avoids (see ``benchmarks/test_bench_ablation.py``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..codes.css import CSSCode
+from .builder import FINAL_ROUND, MemoryExperiment, _ancilla_index
+from .circuit import Circuit
+from .schedule import Schedule
+
+
+def _flag_plan(
+    code: CSSCode, schedule: Schedule, min_flag_weight: int
+) -> tuple[dict[tuple[str, int], int], dict[int, list], dict[int, list]]:
+    """Assign flag qubits and the gaps where their CNOTs go.
+
+    Returns (flag_index per stabilizer, opens per gap, closes per gap)
+    where gap ``g`` sits between data CNOT layers ``g`` and ``g+1``.
+    """
+    layers = schedule.layers()
+    first_last: dict[tuple[str, int], tuple[int, int]] = {}
+    for (kind, s, q), t in layers.items():
+        lo, hi = first_last.get((kind, s), (t, t))
+        first_last[(kind, s)] = (min(lo, t), max(hi, t))
+
+    flag_of: dict[tuple[str, int], int] = {}
+    opens: dict[int, list] = defaultdict(list)
+    closes: dict[int, list] = defaultdict(list)
+    next_flag = 0
+    for kind in ("x", "z"):
+        count = code.num_x_stabs if kind == "x" else code.num_z_stabs
+        matrix = code.hx if kind == "x" else code.hz
+        for s in range(count):
+            if int(matrix[s].sum()) < min_flag_weight:
+                continue
+            first, last = first_last[(kind, s)]
+            if last - first < 2:
+                continue  # no interior window: hooks cannot spread
+            flag_of[(kind, s)] = next_flag
+            opens[first].append((kind, s))
+            closes[last - 1].append((kind, s))
+            next_flag += 1
+    return flag_of, dict(opens), dict(closes)
+
+
+def build_flagged_memory_experiment(
+    code: CSSCode,
+    schedule: Schedule,
+    rounds: int,
+    basis: str = "z",
+    min_flag_weight: int = 4,
+) -> MemoryExperiment:
+    """Memory experiment with per-stabilizer flag qubits.
+
+    Flag qubits are indexed after the syndrome ancillas.  Flag detectors
+    carry labels ``(round, "f" + kind, stab)`` so basis filtering (which
+    matches ``label[1] == basis``) leaves them out of matching graphs
+    while BP+OSD consumes them naturally.
+    """
+    if basis not in ("x", "z"):
+        raise ValueError("basis must be 'x' or 'z'")
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    if not schedule.is_valid():
+        raise ValueError("schedule is invalid")
+
+    n = code.n
+    mx, mz = code.num_x_stabs, code.num_z_stabs
+    flag_of, opens, closes = _flag_plan(code, schedule, min_flag_weight)
+    flag_base = n + mx + mz
+
+    circuit = Circuit()
+    cnot_layers = schedule.cnot_layers()
+    x_ancillas = [_ancilla_index(code, "x", s) for s in range(mx)]
+    z_ancillas = [_ancilla_index(code, "z", s) for s in range(mz)]
+
+    meas_index: dict[tuple, int] = {}
+    meas_count = 0
+
+    def record(label: tuple) -> None:
+        nonlocal meas_count
+        meas_index[label] = meas_count
+        meas_count += 1
+
+    detector_labels: list[tuple] = []
+    observable_labels: list[tuple] = []
+
+    def flag_qubit(kind: str, s: int) -> int:
+        return flag_base + flag_of[(kind, s)]
+
+    for r in range(rounds):
+        if r == 0:
+            circuit.append("R" if basis == "z" else "RX", range(n), label=("data_init",))
+        for a in x_ancillas + z_ancillas:
+            circuit.append("R", [a], label=("anc_reset", r))
+        # Flags: X-check flags start in |0>, Z-check flags in |+>.
+        for (kind, s), _ in flag_of.items():
+            gate = "R" if kind == "x" else "RX"
+            circuit.append(gate, [flag_qubit(kind, s)], label=("flag_reset", kind, s, r))
+        circuit.tick()
+
+        for s, a in enumerate(x_ancillas):
+            circuit.append("H", [a], label=("anc_h", "x", s, r))
+        circuit.tick()
+
+        for t, layer in enumerate(cnot_layers):
+            for (kind, s, q) in layer:
+                anc = _ancilla_index(code, kind, s)
+                pair = (anc, q) if kind == "x" else (q, anc)
+                circuit.append("CNOT", pair, label=("cnot", kind, s, q, r))
+            circuit.tick()
+            gap_ops = opens.get(t, []) + closes.get(t, [])
+            if gap_ops:
+                for (kind, s) in gap_ops:
+                    anc = _ancilla_index(code, kind, s)
+                    f = flag_qubit(kind, s)
+                    # X-check: ancilla controls the flag; Z-check: flag
+                    # controls the ancilla.
+                    pair = (anc, f) if kind == "x" else (f, anc)
+                    circuit.append("CNOT", pair, label=("flag_cnot", kind, s, r))
+                circuit.tick()
+
+        for s, a in enumerate(x_ancillas):
+            circuit.append("H", [a], label=("anc_h", "x", s, r))
+        circuit.tick()
+
+        for s, a in enumerate(x_ancillas):
+            circuit.append("M", [a], label=("anc_meas", "x", s, r))
+            record((r, "x", s))
+        for s, a in enumerate(z_ancillas):
+            circuit.append("M", [a], label=("anc_meas", "z", s, r))
+            record((r, "z", s))
+        for (kind, s), _ in flag_of.items():
+            gate = "M" if kind == "x" else "MX"
+            circuit.append(gate, [flag_qubit(kind, s)], label=("flag_meas", kind, s, r))
+            record((r, "f" + kind, s))
+
+        for kind, count in (("x", mx), ("z", mz)):
+            for s in range(count):
+                label = (r, kind, s)
+                if r == 0:
+                    if kind == basis:
+                        circuit.append("DETECTOR", [meas_index[(0, kind, s)]], label=label)
+                        detector_labels.append(label)
+                else:
+                    circuit.append(
+                        "DETECTOR",
+                        [meas_index[(r, kind, s)], meas_index[(r - 1, kind, s)]],
+                        label=label,
+                    )
+                    detector_labels.append(label)
+        # Flag detectors: deterministically 0 every round.
+        for (kind, s), _ in flag_of.items():
+            label = (r, "f" + kind, s)
+            circuit.append("DETECTOR", [meas_index[label]], label=label)
+            detector_labels.append(label)
+        circuit.tick()
+
+    for q in range(n):
+        circuit.append("M" if basis == "z" else "MX", [q], label=("data_meas", q))
+        record(("data", q))
+
+    stab_matrix = code.hz if basis == "z" else code.hx
+    last = rounds - 1
+    for s in range(stab_matrix.shape[0]):
+        support = np.nonzero(stab_matrix[s])[0]
+        targets = [meas_index[("data", int(q))] for q in support]
+        targets.append(meas_index[(last, basis, s)])
+        label = (FINAL_ROUND, basis, s)
+        circuit.append("DETECTOR", targets, label=label)
+        detector_labels.append(label)
+
+    logicals = code.lz if basis == "z" else code.lx
+    for i, row in enumerate(logicals):
+        support = np.nonzero(row)[0]
+        circuit.append(
+            "OBSERVABLE_INCLUDE",
+            [meas_index[("data", int(q))] for q in support],
+            args=[i],
+            label=("observable", basis, i),
+        )
+        observable_labels.append(("observable", basis, i))
+
+    circuit.validate()
+    return MemoryExperiment(
+        circuit=circuit,
+        code=code,
+        schedule=schedule,
+        rounds=rounds,
+        basis=basis,
+        detector_labels=detector_labels,
+        observable_labels=observable_labels,
+    )

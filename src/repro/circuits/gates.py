@@ -1,0 +1,89 @@
+"""Operation definitions for the SM-circuit intermediate representation.
+
+The IR mirrors the subset of Stim's language the paper's tooling needs:
+Clifford gates, resets/measurements in X and Z bases, Pauli noise
+channels, layer separators (TICK), and detector/observable annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Gates that act on qubits.
+CLIFFORD_GATES = frozenset({"H", "CNOT"})
+RESET_GATES = frozenset({"R", "RX"})
+MEASURE_GATES = frozenset({"M", "MX"})
+NOISE_GATES = frozenset({"DEPOLARIZE1", "DEPOLARIZE2", "PAULI_CHANNEL_1"})
+ANNOTATIONS = frozenset({"DETECTOR", "OBSERVABLE_INCLUDE", "TICK"})
+
+ALL_GATES = CLIFFORD_GATES | RESET_GATES | MEASURE_GATES | NOISE_GATES | ANNOTATIONS
+
+# How many qubits each qubit-gate consumes per application.
+GATE_ARITY = {
+    "H": 1,
+    "CNOT": 2,
+    "R": 1,
+    "RX": 1,
+    "M": 1,
+    "MX": 1,
+    "DEPOLARIZE1": 1,
+    "DEPOLARIZE2": 2,
+    "PAULI_CHANNEL_1": 1,
+}
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single instruction.
+
+    ``targets`` are qubit indices for gates/noise, or *absolute measurement
+    indices* for DETECTOR / OBSERVABLE_INCLUDE.  ``args`` carry noise
+    probabilities (or the observable index for OBSERVABLE_INCLUDE).
+    ``label`` is opaque metadata — the builder stamps detectors with
+    ``(round, kind, stab)`` so they can be matched across different
+    schedules of the same code (needed by PropHunt's pruning stage §5.4).
+    """
+
+    gate: str
+    targets: tuple[int, ...] = ()
+    args: tuple[float, ...] = ()
+    label: tuple = field(default=(), compare=False)
+
+    def __post_init__(self):
+        if self.gate not in ALL_GATES:
+            raise ValueError(f"unknown gate {self.gate!r}")
+        arity = GATE_ARITY.get(self.gate)
+        if arity is not None and len(self.targets) % arity != 0:
+            raise ValueError(
+                f"{self.gate} takes groups of {arity} targets, got {len(self.targets)}"
+            )
+        if self.gate == "PAULI_CHANNEL_1" and len(self.args) != 3:
+            raise ValueError("PAULI_CHANNEL_1 needs (px, py, pz)")
+        if self.gate in ("DEPOLARIZE1", "DEPOLARIZE2") and len(self.args) != 1:
+            raise ValueError(f"{self.gate} needs a single probability")
+        if self.gate == "OBSERVABLE_INCLUDE" and len(self.args) != 1:
+            raise ValueError("OBSERVABLE_INCLUDE needs the observable index")
+
+    def target_groups(self) -> list[tuple[int, ...]]:
+        """Split flattened targets into per-application groups."""
+        arity = GATE_ARITY.get(self.gate, len(self.targets) or 1)
+        if arity == 0:
+            return []
+        return [
+            tuple(self.targets[i : i + arity])
+            for i in range(0, len(self.targets), arity)
+        ]
+
+    def is_noise(self) -> bool:
+        return self.gate in NOISE_GATES
+
+    def is_measurement(self) -> bool:
+        return self.gate in MEASURE_GATES
+
+    def __str__(self) -> str:
+        parts = [self.gate]
+        if self.args:
+            parts.append("(" + ",".join(f"{a:g}" for a in self.args) + ")")
+        if self.targets:
+            parts.append(" " + " ".join(str(t) for t in self.targets))
+        return "".join(parts)

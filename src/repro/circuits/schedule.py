@@ -1,0 +1,221 @@
+"""CNOT schedules for syndrome measurement circuits.
+
+A :class:`Schedule` is PropHunt's mutable circuit representation (paper
+§5.3, Figure 11): for every stabilizer, an *order* over its data qubits,
+and for every data qubit, a *relative order* over the stabilizers that
+touch it.  Together these define a precedence DAG over Tanner-graph edges
+``(kind, stab, qubit)``; an ASAP longest-path layering turns the DAG into
+CNOT layers.
+
+Validity (paper §5.4, "Circuit Validity") has two parts:
+
+* **schedulability** — the precedence DAG must be acyclic;
+* **stabilizer commutation** — for every overlapping X/Z stabilizer pair,
+  the number of shared data qubits on which the X stabilizer acts *first*
+  must be even, otherwise the two ancilla measurements entangle and the
+  measured operators are no longer the intended stabilizers.
+
+The two rewrite primitives are exactly the paper's: *reordering* (§5.3.1)
+moves a data qubit earlier inside one stabilizer's order; *rescheduling*
+(§5.3.2) swaps the relative order of two stabilizers on a shared qubit.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+import numpy as np
+
+from ..codes.css import CSSCode
+
+Edge = tuple[str, int, int]  # (kind "x"/"z", stabilizer index, data qubit)
+
+
+class Schedule:
+    """CNOT ordering state for one code's SM circuit."""
+
+    def __init__(
+        self,
+        code: CSSCode,
+        stab_orders: dict[tuple[str, int], list[int]],
+        qubit_orders: dict[int, list[tuple[str, int]]],
+    ):
+        self.code = code
+        self.stab_orders = {k: list(v) for k, v in stab_orders.items()}
+        self.qubit_orders = {k: list(v) for k, v in qubit_orders.items()}
+        self._check_consistency()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_layer_assignment(
+        cls, code: CSSCode, layer_of: dict[Edge, int]
+    ) -> "Schedule":
+        """Build orders from an explicit edge -> layer map."""
+        stab_orders: dict[tuple[str, int], list[int]] = {}
+        qubit_orders: dict[int, list[tuple[str, int]]] = defaultdict(list)
+        for kind, matrix in (("x", code.hx), ("z", code.hz)):
+            for s in range(matrix.shape[0]):
+                support = [int(q) for q in np.nonzero(matrix[s])[0]]
+                support.sort(key=lambda q: layer_of[(kind, s, q)])
+                stab_orders[(kind, s)] = support
+        per_qubit: dict[int, list[tuple[int, tuple[str, int]]]] = defaultdict(list)
+        for (kind, s, q), layer in layer_of.items():
+            per_qubit[q].append((layer, (kind, s)))
+        for q, entries in per_qubit.items():
+            entries.sort()
+            layers = [e[0] for e in entries]
+            if len(set(layers)) != len(layers):
+                raise ValueError(f"two CNOTs on qubit {q} share a layer")
+            qubit_orders[q] = [e[1] for e in entries]
+        return cls(code, stab_orders, dict(qubit_orders))
+
+    def copy(self) -> "Schedule":
+        return Schedule(self.code, self.stab_orders, self.qubit_orders)
+
+    def _check_consistency(self) -> None:
+        code = self.code
+        for kind, matrix in (("x", code.hx), ("z", code.hz)):
+            for s in range(matrix.shape[0]):
+                support = set(int(q) for q in np.nonzero(matrix[s])[0])
+                order = self.stab_orders.get((kind, s))
+                if order is None or set(order) != support or len(order) != len(support):
+                    raise ValueError(
+                        f"stab order for ({kind},{s}) must be a permutation of "
+                        f"its support"
+                    )
+        for q in range(code.n):
+            touching = {("x", s) for s in code.data_qubit_x_stabs(q)} | {
+                ("z", s) for s in code.data_qubit_z_stabs(q)
+            }
+            order = self.qubit_orders.get(q, [])
+            if set(order) != touching or len(order) != len(touching):
+                raise ValueError(
+                    f"qubit order for {q} must be a permutation of its stabilizers"
+                )
+
+    # -- precedence DAG and layering -------------------------------------------
+
+    def edges(self) -> list[Edge]:
+        return [
+            (kind, s, q)
+            for (kind, s), order in self.stab_orders.items()
+            for q in order
+        ]
+
+    def _precedence(self) -> dict[Edge, list[Edge]]:
+        succ: dict[Edge, list[Edge]] = defaultdict(list)
+        for (kind, s), order in self.stab_orders.items():
+            for a, b in zip(order, order[1:]):
+                succ[(kind, s, a)].append((kind, s, b))
+        for q, order in self.qubit_orders.items():
+            for (k1, s1), (k2, s2) in zip(order, order[1:]):
+                succ[(k1, s1, q)].append((k2, s2, q))
+        return succ
+
+    def layers(self) -> dict[Edge, int] | None:
+        """ASAP layer for every CNOT, or ``None`` if the DAG has a cycle."""
+        succ = self._precedence()
+        edges = self.edges()
+        indeg = {e: 0 for e in edges}
+        for e, outs in succ.items():
+            for o in outs:
+                indeg[o] += 1
+        queue = deque(e for e in edges if indeg[e] == 0)
+        layer = {e: 0 for e in edges}
+        seen = 0
+        while queue:
+            e = queue.popleft()
+            seen += 1
+            for o in succ.get(e, ()):
+                layer[o] = max(layer[o], layer[e] + 1)
+                indeg[o] -= 1
+                if indeg[o] == 0:
+                    queue.append(o)
+        if seen != len(edges):
+            return None  # cyclic: unschedulable
+        return layer
+
+    def is_schedulable(self) -> bool:
+        return self.layers() is not None
+
+    def cnot_depth(self) -> int:
+        layers = self.layers()
+        if layers is None:
+            raise ValueError("schedule is not schedulable (cyclic dependencies)")
+        return max(layers.values()) + 1 if layers else 0
+
+    def cnot_layers(self) -> list[list[Edge]]:
+        layers = self.layers()
+        if layers is None:
+            raise ValueError("schedule is not schedulable (cyclic dependencies)")
+        depth = max(layers.values()) + 1 if layers else 0
+        out: list[list[Edge]] = [[] for _ in range(depth)]
+        for e, t in layers.items():
+            out[t].append(e)
+        for bucket in out:
+            bucket.sort()
+        return out
+
+    # -- validity ---------------------------------------------------------------
+
+    def commutation_violations(self) -> list[tuple[int, int]]:
+        """(x_stab, z_stab) pairs whose measurement operators anticommute."""
+        code = self.code
+        overlap = (code.hx.astype(np.int64) @ code.hz.T.astype(np.int64))
+        position: dict[int, dict[tuple[str, int], int]] = {}
+        for q, order in self.qubit_orders.items():
+            position[q] = {sk: i for i, sk in enumerate(order)}
+        bad = []
+        for xs, zs in zip(*np.nonzero(overlap)):
+            xs, zs = int(xs), int(zs)
+            shared = np.nonzero(code.hx[xs] & code.hz[zs])[0]
+            x_first = sum(
+                1
+                for q in shared
+                if position[int(q)][("x", xs)] < position[int(q)][("z", zs)]
+            )
+            if x_first % 2 == 1:
+                bad.append((xs, zs))
+        return bad
+
+    def is_valid(self) -> bool:
+        """Paper §5.4 circuit validity: commutation preserved and schedulable."""
+        return self.is_schedulable() and not self.commutation_violations()
+
+    # -- rewrite primitives (paper §5.3) ----------------------------------------
+
+    def reorder(self, kind: str, stab: int, move: int, before: int) -> None:
+        """Reordering change: move data qubit ``move`` before ``before``.
+
+        Mirrors §5.3.1: for a hook error caused by the CNOT with data qubit
+        ``q_i = before``, each candidate moves another qubit ``q_j = move``
+        in front of it, changing which data qubits the hook spreads to.
+        """
+        order = self.stab_orders[(kind, stab)]
+        if move not in order or before not in order:
+            raise ValueError("both qubits must be in the stabilizer's support")
+        if move == before:
+            raise ValueError("cannot move a qubit before itself")
+        order.remove(move)
+        order.insert(order.index(before), move)
+
+    def swap_relative_order(self, qubit: int, s1: tuple[str, int], s2: tuple[str, int]) -> None:
+        """Rescheduling change: swap s1 and s2 in ``qubit``'s relative order.
+
+        Mirrors §5.3.2 / Figure 11: flipping the direction of the edge
+        between two syndrome qubits on a shared data qubit.
+        """
+        order = self.qubit_orders[qubit]
+        i, j = order.index(s1), order.index(s2)
+        order[i], order[j] = order[j], order[i]
+
+    def relative_position(self, qubit: int, stab: tuple[str, int]) -> int:
+        return self.qubit_orders[qubit].index(stab)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(code={self.code.name}, "
+            f"stabs={len(self.stab_orders)}, "
+            f"valid={self.is_valid()})"
+        )

@@ -1,0 +1,51 @@
+"""Schedule persistence.
+
+An optimized schedule is the valuable artifact of a PropHunt run; this
+module saves/loads it as JSON so optimization results survive the
+process (used by ``repro.cli optimize --output``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..codes.css import CSSCode
+from .schedule import Schedule
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize a schedule (code identity is the caller's concern)."""
+    payload = {
+        "format": "prophunt-schedule-v1",
+        "code_name": schedule.code.name,
+        "n": schedule.code.n,
+        "stab_orders": [
+            {"kind": kind, "stab": stab, "order": list(order)}
+            for (kind, stab), order in sorted(schedule.stab_orders.items())
+        ],
+        "qubit_orders": [
+            {"qubit": q, "order": [[kind, stab] for (kind, stab) in order]}
+            for q, order in sorted(schedule.qubit_orders.items())
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def schedule_from_json(text: str, code: CSSCode) -> Schedule:
+    """Rebuild a schedule against ``code`` (validates compatibility)."""
+    payload = json.loads(text)
+    if payload.get("format") != "prophunt-schedule-v1":
+        raise ValueError("not a prophunt schedule file")
+    if payload.get("n") != code.n:
+        raise ValueError(
+            f"schedule was saved for n={payload.get('n')}, code has n={code.n}"
+        )
+    stab_orders = {
+        (entry["kind"], int(entry["stab"])): [int(q) for q in entry["order"]]
+        for entry in payload["stab_orders"]
+    }
+    qubit_orders = {
+        int(entry["qubit"]): [(kind, int(stab)) for kind, stab in entry["order"]]
+        for entry in payload["qubit_orders"]
+    }
+    return Schedule(code, stab_orders, qubit_orders)

@@ -1,0 +1,40 @@
+"""Text serialization for circuits (a Stim-dialect subset).
+
+``circuit_to_text`` matches ``str(circuit)``; ``circuit_from_text``
+parses it back.  Labels are not serialized (they are builder-internal
+provenance); round-trips preserve gates, targets, and arguments.
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit
+from .gates import ALL_GATES
+
+
+def circuit_to_text(circuit: Circuit) -> str:
+    return str(circuit)
+
+
+def circuit_from_text(text: str) -> Circuit:
+    """Parse the ``GATE(args) targets...`` line format."""
+    circuit = Circuit()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        head, *target_tokens = line.split()
+        if "(" in head:
+            if not head.endswith(")"):
+                raise ValueError(f"line {lineno}: malformed arguments in {head!r}")
+            gate, arg_text = head[:-1].split("(", 1)
+            args = tuple(float(a) for a in arg_text.split(",") if a)
+        else:
+            gate, args = head, ()
+        if gate not in ALL_GATES:
+            raise ValueError(f"line {lineno}: unknown gate {gate!r}")
+        try:
+            targets = tuple(int(t) for t in target_tokens)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad target in {raw!r}") from exc
+        circuit.append(gate, targets, args)
+    return circuit

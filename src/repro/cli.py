@@ -1,0 +1,122 @@
+"""Command-line face of the PropHunt tool.
+
+Optimize a benchmark code's SM circuit and report before/after metrics::
+
+    python -m repro.cli optimize surface_d3 --iterations 5 --samples 40
+    python -m repro.cli evaluate lp39 --p 1e-3 --shots 4000
+    python -m repro.cli codes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis.deff import estimate_effective_distance
+from .circuits import coloration_schedule
+from .codes import BENCHMARK_CODES, load_benchmark_code
+from .core import PropHunt, PropHuntConfig
+from .decoders import estimate_logical_error_rate
+
+
+def cmd_codes(_args) -> int:
+    for name in BENCHMARK_CODES:
+        code = load_benchmark_code(name)
+        weights = code.stabilizer_weights()
+        print(
+            f"{name:12s} {code.label():28s} "
+            f"stab weights {sorted(set(weights['x']) | set(weights['z']))}"
+        )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    code = load_benchmark_code(args.code)
+    schedule = coloration_schedule(code)
+    rng = np.random.default_rng(args.seed)
+    deff = estimate_effective_distance(code, schedule, samples=args.samples, rng=rng)
+    ler = estimate_logical_error_rate(
+        code, schedule, p=args.p, shots=args.shots, rng=rng
+    )
+    print(f"code            : {code.label()}")
+    print(f"circuit         : coloration, CNOT depth {schedule.cnot_depth()}")
+    print(f"d_eff estimate  : {deff.deff}")
+    print(f"LER @ p={args.p:g} : {ler.rate:.3e} ({ler.shots} shots/basis)")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    code = load_benchmark_code(args.code)
+    start = coloration_schedule(code)
+    config = PropHuntConfig(
+        iterations=args.iterations,
+        samples_per_iteration=args.samples,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(f"Optimizing {code.label()} from the coloration circuit "
+          f"({config.iterations} x {config.samples_per_iteration})...")
+    result = PropHunt(code, config).optimize(start)
+    for r in result.history:
+        print(
+            f"  it{r.iteration}: ambiguous={r.ambiguous_found} "
+            f"min_weight={r.min_logical_weight} applied={r.changes_applied} "
+            f"depth={r.cnot_depth} ({r.elapsed:.1f}s)"
+        )
+    rng = np.random.default_rng(args.seed)
+    before = estimate_logical_error_rate(
+        code, start, p=args.p, shots=args.shots, rng=rng
+    )
+    after = estimate_logical_error_rate(
+        code, result.final_schedule, p=args.p, shots=args.shots, rng=rng
+    )
+    print(f"\nLER @ p={args.p:g}: {before.rate:.3e} -> {after.rate:.3e}")
+    if after.rate > 0:
+        print(f"improvement: {before.rate / after.rate:.2f}x")
+    if args.output:
+        from .circuits import schedule_to_json
+
+        with open(args.output, "w") as fh:
+            fh.write(schedule_to_json(result.final_schedule))
+        print(f"optimized schedule written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("codes", help="list benchmark codes").set_defaults(fn=cmd_codes)
+
+    ev = sub.add_parser("evaluate", help="evaluate a code's coloration circuit")
+    ev.add_argument("code")
+    ev.add_argument("--p", type=float, default=1e-3)
+    ev.add_argument("--shots", type=int, default=4000)
+    ev.add_argument("--samples", type=int, default=30)
+    ev.add_argument("--seed", type=int, default=0)
+    ev.set_defaults(fn=cmd_evaluate)
+
+    opt = sub.add_parser("optimize", help="run PropHunt on a benchmark code")
+    opt.add_argument("code")
+    opt.add_argument("--iterations", type=int, default=4)
+    opt.add_argument("--samples", type=int, default=30)
+    opt.add_argument("--p", type=float, default=1e-3)
+    opt.add_argument("--shots", type=int, default=4000)
+    opt.add_argument("--seed", type=int, default=0)
+    opt.add_argument("--workers", type=int, default=1)
+    opt.add_argument(
+        "--output", default=None, help="write the optimized schedule as JSON"
+    )
+    opt.set_defaults(fn=cmd_optimize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

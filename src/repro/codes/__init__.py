@@ -1,0 +1,64 @@
+"""QEC code constructions: CSS framework, surface / LP / RQT codes."""
+
+from .classical import (
+    ClassicalCode,
+    hamming_code,
+    parity_code,
+    random_regular_code,
+    repetition_code,
+)
+from .css import CSSCode, CSSCodeError
+from .distance import MinWeightResult, estimate_distance, min_weight_logical
+from .groups import Group, RingMatrix, cyclic_group, dihedral_group
+from .hypergraph_product import hypergraph_product, toric_like_code
+from .library import (
+    BENCHMARK_CODES,
+    EXPECTED_PARAMETERS,
+    load_benchmark_code,
+    lp39_code,
+    rqt54_code,
+    rqt60_code,
+    rqt108_code,
+)
+from .lifted_product import lifted_product
+from .steane import steane_code
+from .surface import plaquette_neighbors, rotated_surface_code
+from .tanner import quantum_tanner_code, random_quantum_tanner_code, search_rqt_code
+from .two_block import gb18_code, gb24_code, gb_code_cyclic, two_block_code
+
+__all__ = [
+    "ClassicalCode",
+    "hamming_code",
+    "parity_code",
+    "random_regular_code",
+    "repetition_code",
+    "CSSCode",
+    "CSSCodeError",
+    "MinWeightResult",
+    "estimate_distance",
+    "min_weight_logical",
+    "Group",
+    "RingMatrix",
+    "cyclic_group",
+    "dihedral_group",
+    "hypergraph_product",
+    "toric_like_code",
+    "BENCHMARK_CODES",
+    "EXPECTED_PARAMETERS",
+    "load_benchmark_code",
+    "lp39_code",
+    "rqt54_code",
+    "rqt60_code",
+    "rqt108_code",
+    "lifted_product",
+    "steane_code",
+    "rotated_surface_code",
+    "plaquette_neighbors",
+    "quantum_tanner_code",
+    "random_quantum_tanner_code",
+    "search_rqt_code",
+    "gb18_code",
+    "gb24_code",
+    "gb_code_cyclic",
+    "two_block_code",
+]

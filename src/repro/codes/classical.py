@@ -1,0 +1,107 @@
+"""Classical binary linear codes.
+
+These are the ingredients of the quantum constructions: hypergraph and
+lifted products take classical parity-check matrices, and quantum Tanner
+codes take small local codes (here: repetition codes and their duals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import gf2
+
+
+@dataclass(frozen=True)
+class ClassicalCode:
+    """An [n, k] binary linear code given by a parity-check matrix.
+
+    ``check_matrix`` has one row per parity check; the code is its right
+    nullspace.
+    """
+
+    check_matrix: np.ndarray
+    name: str = "classical"
+    _generator: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        h = np.asarray(self.check_matrix, dtype=np.uint8) & 1
+        if h.ndim != 2:
+            raise ValueError(f"check matrix must be 2-D, got shape {h.shape}")
+        object.__setattr__(self, "check_matrix", h)
+
+    @property
+    def n(self) -> int:
+        return self.check_matrix.shape[1]
+
+    @property
+    def k(self) -> int:
+        return self.n - gf2.rank(self.check_matrix)
+
+    @property
+    def generator_matrix(self) -> np.ndarray:
+        """A (k, n) basis of codewords."""
+        return gf2.nullspace(self.check_matrix)
+
+    def dual(self) -> "ClassicalCode":
+        """The dual code: codewords are the rows of our parity checks."""
+        return ClassicalCode(self.generator_matrix, name=f"{self.name}^perp")
+
+    def contains(self, word: np.ndarray) -> bool:
+        word = np.asarray(word, dtype=np.uint8) & 1
+        return not (self.check_matrix.astype(int) @ word % 2).any()
+
+    def distance(self) -> int:
+        """Exact minimum distance by exhaustive search (small codes only)."""
+        gen = self.generator_matrix
+        if gen.shape[0] == 0:
+            return 0
+        return int(gf2.min_weight_in_affine(gen).sum())
+
+    def __repr__(self) -> str:
+        return f"ClassicalCode(name={self.name!r}, n={self.n}, k={self.k})"
+
+
+def repetition_code(n: int) -> ClassicalCode:
+    """The [n, 1, n] repetition code."""
+    if n < 2:
+        raise ValueError("repetition code needs n >= 2")
+    h = np.zeros((n - 1, n), dtype=np.uint8)
+    for i in range(n - 1):
+        h[i, i] = h[i, i + 1] = 1
+    return ClassicalCode(h, name=f"rep{n}")
+
+
+def hamming_code() -> ClassicalCode:
+    """The [7, 4, 3] Hamming code (columns are 1..7 in binary)."""
+    h = np.array(
+        [
+            [0, 0, 0, 1, 1, 1, 1],
+            [0, 1, 1, 0, 0, 1, 1],
+            [1, 0, 1, 0, 1, 0, 1],
+        ],
+        dtype=np.uint8,
+    )
+    return ClassicalCode(h, name="hamming7")
+
+
+def parity_code(n: int) -> ClassicalCode:
+    """The [n, n-1, 2] single-parity-check code."""
+    if n < 2:
+        raise ValueError("parity code needs n >= 2")
+    return ClassicalCode(np.ones((1, n), dtype=np.uint8), name=f"parity{n}")
+
+
+def random_regular_code(
+    n: int, m: int, row_weight: int, rng: np.random.Generator
+) -> ClassicalCode:
+    """A random LDPC-like code with fixed row weight (for tests/demos)."""
+    if row_weight > n:
+        raise ValueError("row weight cannot exceed length")
+    h = np.zeros((m, n), dtype=np.uint8)
+    for i in range(m):
+        cols = rng.choice(n, size=row_weight, replace=False)
+        h[i, cols] = 1
+    return ClassicalCode(h, name=f"random[{n},{m},w{row_weight}]")

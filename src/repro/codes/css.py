@@ -1,0 +1,173 @@
+"""CSS stabilizer codes.
+
+A CSS code is specified by two parity-check matrices over GF(2):
+``hx`` (X-type stabilizers, detect Z errors) and ``hz`` (Z-type, detect X
+errors) with the commutation condition ``hx @ hz.T = 0 (mod 2)`` (§2.1-2.3
+of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import gf2
+
+
+class CSSCodeError(ValueError):
+    """Raised when matrices do not define a valid CSS code."""
+
+
+def _logical_basis(kernel_of: np.ndarray, modulo: np.ndarray) -> np.ndarray:
+    """Basis of ker(kernel_of) / rowspace(modulo).
+
+    Returns k vectors that are in the kernel of ``kernel_of`` and jointly
+    independent of the row space of ``modulo`` — i.e. representatives of the
+    logical operators.
+    """
+    kernel = gf2.nullspace(kernel_of)
+    picked: list[np.ndarray] = []
+    stack = gf2.row_basis(modulo)
+    current_rank = stack.shape[0]
+    for vec in kernel:
+        candidate = np.vstack([stack, vec[None, :]]) if stack.size else vec[None, :]
+        r = gf2.rank(candidate)
+        if r > current_rank:
+            picked.append(vec)
+            stack = candidate
+            current_rank = r
+    if picked:
+        return np.array(picked, dtype=np.uint8)
+    return np.zeros((0, kernel_of.shape[1]), dtype=np.uint8)
+
+
+@dataclass
+class CSSCode:
+    """An [[n, k, d]] CSS code.
+
+    Parameters
+    ----------
+    hx, hz:
+        X- and Z-type parity check matrices (rows = stabilizers).
+    name:
+        Human-readable identifier (used in benchmark output).
+    distance:
+        The design distance if known (``None`` -> unknown; estimate with
+        :func:`repro.codes.distance.estimate_distance`).
+    qubit_coords / x_stab_coords / z_stab_coords:
+        Optional geometric layout (used by surface-code schedules).
+    """
+
+    hx: np.ndarray
+    hz: np.ndarray
+    name: str = "css"
+    distance: int | None = None
+    qubit_coords: list[tuple[float, float]] | None = None
+    x_stab_coords: list[tuple[float, float]] | None = None
+    z_stab_coords: list[tuple[float, float]] | None = None
+    _lx: np.ndarray | None = field(default=None, repr=False)
+    _lz: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        self.hx = np.asarray(self.hx, dtype=np.uint8) & 1
+        self.hz = np.asarray(self.hz, dtype=np.uint8) & 1
+        if self.hx.ndim != 2 or self.hz.ndim != 2:
+            raise CSSCodeError("check matrices must be 2-D")
+        if self.hx.shape[1] != self.hz.shape[1]:
+            raise CSSCodeError(
+                f"hx acts on {self.hx.shape[1]} qubits but hz on {self.hz.shape[1]}"
+            )
+        if gf2.matmul(self.hx, self.hz.T).any():
+            raise CSSCodeError("stabilizers do not commute: hx @ hz^T != 0")
+
+    # -- parameters ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of physical data qubits."""
+        return self.hx.shape[1]
+
+    @property
+    def k(self) -> int:
+        """Number of logical qubits: n - rank(hx) - rank(hz)."""
+        return self.n - gf2.rank(self.hx) - gf2.rank(self.hz)
+
+    @property
+    def num_x_stabs(self) -> int:
+        return self.hx.shape[0]
+
+    @property
+    def num_z_stabs(self) -> int:
+        return self.hz.shape[0]
+
+    @property
+    def lx(self) -> np.ndarray:
+        """Logical X operators: k rows, in ker(hz) independent of rowspace(hx)."""
+        if self._lx is None:
+            self._lx = _logical_basis(self.hz, self.hx)
+        return self._lx
+
+    @property
+    def lz(self) -> np.ndarray:
+        """Logical Z operators: k rows, in ker(hx) independent of rowspace(hz)."""
+        if self._lz is None:
+            self._lz = _logical_basis(self.hx, self.hz)
+        return self._lz
+
+    def set_logicals(self, lx: np.ndarray, lz: np.ndarray) -> None:
+        """Install explicit logical representatives (validated)."""
+        lx = np.atleast_2d(np.asarray(lx, dtype=np.uint8)) & 1
+        lz = np.atleast_2d(np.asarray(lz, dtype=np.uint8)) & 1
+        if gf2.matmul(self.hz, lx.T).any():
+            raise CSSCodeError("lx must commute with all Z stabilizers")
+        if gf2.matmul(self.hx, lz.T).any():
+            raise CSSCodeError("lz must commute with all X stabilizers")
+        if gf2.in_rowspace(self.hx, lx) and lx.size:
+            raise CSSCodeError("lx lies in the stabilizer group")
+        if gf2.in_rowspace(self.hz, lz) and lz.size:
+            raise CSSCodeError("lz lies in the stabilizer group")
+        self._lx, self._lz = lx, lz
+
+    # -- structure queries ----------------------------------------------------
+
+    def stabilizer_weights(self) -> dict[str, list[int]]:
+        return {
+            "x": sorted(int(r.sum()) for r in self.hx),
+            "z": sorted(int(r.sum()) for r in self.hz),
+        }
+
+    def x_stab_support(self, i: int) -> list[int]:
+        """Data qubits in the support of X stabilizer ``i``."""
+        return [int(q) for q in np.nonzero(self.hx[i])[0]]
+
+    def z_stab_support(self, i: int) -> list[int]:
+        """Data qubits in the support of Z stabilizer ``i``."""
+        return [int(q) for q in np.nonzero(self.hz[i])[0]]
+
+    def data_qubit_x_stabs(self, q: int) -> list[int]:
+        return [int(s) for s in np.nonzero(self.hx[:, q])[0]]
+
+    def data_qubit_z_stabs(self, q: int) -> list[int]:
+        return [int(s) for s in np.nonzero(self.hz[:, q])[0]]
+
+    def syndrome(self, x_errors: np.ndarray, z_errors: np.ndarray) -> dict[str, np.ndarray]:
+        """Code-level syndromes s_x = hx @ e_z, s_z = hz @ e_x (§2.3)."""
+        return {
+            "x": gf2.matmul(self.hx, np.asarray(z_errors, dtype=np.uint8).reshape(-1, 1)).ravel(),
+            "z": gf2.matmul(self.hz, np.asarray(x_errors, dtype=np.uint8).reshape(-1, 1)).ravel(),
+        }
+
+    def logical_effect(self, x_errors: np.ndarray, z_errors: np.ndarray) -> dict[str, np.ndarray]:
+        """Logical flips l_z = lx @ e_z, l_x = lz @ e_x (§2.4)."""
+        return {
+            "z": gf2.matmul(self.lx, np.asarray(z_errors, dtype=np.uint8).reshape(-1, 1)).ravel(),
+            "x": gf2.matmul(self.lz, np.asarray(x_errors, dtype=np.uint8).reshape(-1, 1)).ravel(),
+        }
+
+    def label(self) -> str:
+        d = "?" if self.distance is None else str(self.distance)
+        return f"[[{self.n},{self.k},{d}]] {self.name}"
+
+    def __repr__(self) -> str:
+        return f"CSSCode({self.label()})"

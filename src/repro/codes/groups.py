@@ -1,0 +1,220 @@
+"""Finite groups and group algebras for lifted-product / Tanner codes.
+
+A :class:`Group` stores its multiplication table; elements are integer
+indices.  Lifting a group-algebra element to a binary matrix uses the
+left- or right-regular representation — the two commute, which is what
+makes lifted products work over *nonabelian* groups (e.g. dihedral)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Group:
+    """A finite group given by its multiplication table.
+
+    ``mul_table[a, b]`` is the index of the product ``a * b``;
+    ``labels`` are human-readable element names.
+    """
+
+    mul_table: np.ndarray
+    labels: tuple[str, ...]
+    name: str
+
+    def __post_init__(self):
+        t = np.asarray(self.mul_table, dtype=np.int64)
+        n = t.shape[0]
+        if t.shape != (n, n):
+            raise ValueError("multiplication table must be square")
+        object.__setattr__(self, "mul_table", t)
+
+    @property
+    def order(self) -> int:
+        return self.mul_table.shape[0]
+
+    @property
+    def identity(self) -> int:
+        # The identity is the unique e with e*x = x for all x.
+        for e in range(self.order):
+            if np.array_equal(self.mul_table[e], np.arange(self.order)):
+                return e
+        raise ValueError("multiplication table has no identity")
+
+    def mul(self, a: int, b: int) -> int:
+        return int(self.mul_table[a, b])
+
+    def inv(self, a: int) -> int:
+        e = self.identity
+        hits = np.nonzero(self.mul_table[a] == e)[0]
+        if hits.size != 1:
+            raise ValueError(f"element {a} has no unique inverse")
+        return int(hits[0])
+
+    def is_abelian(self) -> bool:
+        return np.array_equal(self.mul_table, self.mul_table.T)
+
+    def left_regular(self, g: int) -> np.ndarray:
+        """Permutation matrix of h -> g*h (L(g)[g*h, h] = 1)."""
+        n = self.order
+        mat = np.zeros((n, n), dtype=np.uint8)
+        for h in range(n):
+            mat[self.mul(g, h), h] = 1
+        return mat
+
+    def right_regular(self, g: int) -> np.ndarray:
+        """Permutation matrix of h -> h*g (R(g)[h*g, h] = 1).
+
+        Left- and right-regular matrices commute for any pair of elements,
+        which the lifted product relies on.
+        """
+        n = self.order
+        mat = np.zeros((n, n), dtype=np.uint8)
+        for h in range(n):
+            mat[self.mul(h, g), h] = 1
+        return mat
+
+    def __repr__(self) -> str:
+        return f"Group({self.name}, order={self.order})"
+
+
+def cyclic_group(n: int) -> Group:
+    """The cyclic group C_n (element i is the rotation x^i)."""
+    if n < 1:
+        raise ValueError("cyclic group needs n >= 1")
+    idx = np.arange(n)
+    table = (idx[:, None] + idx[None, :]) % n
+    return Group(table, tuple(f"x^{i}" for i in range(n)), name=f"C{n}")
+
+
+def dihedral_group(n: int) -> Group:
+    """The dihedral group of order 2n: rotations r^i and reflections r^i s.
+
+    Element ``2*i + j`` encodes ``r^i s^j`` with the relation
+    ``s r = r^{-1} s``.
+    """
+    if n < 1:
+        raise ValueError("dihedral group needs n >= 1")
+
+    def compose(i1, j1, i2, j2):
+        # (r^i1 s^j1)(r^i2 s^j2) = r^(i1 + (-1)^j1 i2) s^(j1 xor j2)
+        i = (i1 + (i2 if j1 == 0 else -i2)) % n
+        return i, j1 ^ j2
+
+    order = 2 * n
+    table = np.zeros((order, order), dtype=np.int64)
+    for a in range(order):
+        for b in range(order):
+            i, j = compose(a // 2, a % 2, b // 2, b % 2)
+            table[a, b] = 2 * i + j
+    labels = tuple(
+        f"r^{a // 2}" + ("s" if a % 2 else "") for a in range(order)
+    )
+    return Group(table, labels, name=f"D{n}")
+
+
+class RingMatrix:
+    """A matrix over the group algebra F2[G].
+
+    Entries are frozensets of group-element indices (a subset = a sum of
+    group elements with coefficient 1).
+    """
+
+    def __init__(self, group: Group, entries: list[list[frozenset[int]]]):
+        self.group = group
+        self.entries = [[frozenset(e) for e in row] for row in entries]
+        widths = {len(row) for row in self.entries}
+        if len(widths) > 1:
+            raise ValueError("ragged ring matrix")
+
+    @classmethod
+    def from_monomials(
+        cls, group: Group, spec: list[list[int | None]]
+    ) -> "RingMatrix":
+        """Build from a protograph of single group elements (None = 0)."""
+        return cls(
+            group,
+            [
+                [frozenset() if e is None else frozenset({int(e)}) for e in row]
+                for row in spec
+            ],
+        )
+
+    @classmethod
+    def identity(cls, group: Group, n: int) -> "RingMatrix":
+        e = group.identity
+        return cls(
+            group,
+            [
+                [frozenset({e}) if i == j else frozenset() for j in range(n)]
+                for i in range(n)
+            ],
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self.entries), len(self.entries[0]) if self.entries else 0)
+
+    def conjugate_transpose(self) -> "RingMatrix":
+        """Transpose with entry-wise group inversion (the ring adjoint)."""
+        m, n = self.shape
+        inv = self.group.inv
+        out = [
+            [frozenset(inv(g) for g in self.entries[i][j]) for i in range(m)]
+            for j in range(n)
+        ]
+        return RingMatrix(self.group, out)
+
+    def kron(self, other: "RingMatrix") -> "RingMatrix":
+        """Kronecker product; entries multiply as formal products.
+
+        Only valid when at least one factor is the identity pattern (which
+        is how the lifted product uses it) — general entry products are not
+        needed and are rejected.
+        """
+        m1, n1 = self.shape
+        m2, n2 = other.shape
+        e = self.group.identity
+        out: list[list[frozenset[int]]] = []
+        for i1 in range(m1):
+            for i2 in range(m2):
+                row: list[frozenset[int]] = []
+                for j1 in range(n1):
+                    for j2 in range(n2):
+                        a, b = self.entries[i1][j1], other.entries[i2][j2]
+                        if not a or not b:
+                            row.append(frozenset())
+                        elif a == frozenset({e}):
+                            row.append(b)
+                        elif b == frozenset({e}):
+                            row.append(a)
+                        else:
+                            raise ValueError(
+                                "kron only supports identity-patterned factors"
+                            )
+                out.append(row)
+        return RingMatrix(self.group, out)
+
+    def lift(self, side: str) -> np.ndarray:
+        """Binary lift: each entry becomes a sum of regular-rep matrices.
+
+        ``side`` is ``"left"`` or ``"right"``; mixed sides across the two
+        blocks of a lifted product is what guarantees commutation for
+        nonabelian groups.
+        """
+        if side not in ("left", "right"):
+            raise ValueError("side must be 'left' or 'right'")
+        rep = self.group.left_regular if side == "left" else self.group.right_regular
+        m, n = self.shape
+        ell = self.group.order
+        out = np.zeros((m * ell, n * ell), dtype=np.uint8)
+        for i in range(m):
+            for j in range(n):
+                for g in self.entries[i][j]:
+                    out[i * ell : (i + 1) * ell, j * ell : (j + 1) * ell] ^= rep(g)
+        return out
+
+    def __repr__(self) -> str:
+        return f"RingMatrix(shape={self.shape}, group={self.group.name})"

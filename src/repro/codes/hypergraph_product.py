@@ -1,0 +1,49 @@
+"""Hypergraph product codes (Tillich-Zemor).
+
+Given classical checks H1 (m1 x n1) and H2 (m2 x n2), the hypergraph
+product has n = n1*n2 + m1*m2 qubits and
+
+    hx = [ H1 (x) I_n2 | I_m1 (x) H2^T ]
+    hz = [ I_n1 (x) H2  | H1^T (x) I_m2 ]
+
+The paper cites the fact (§3.1, [34]) that hypergraph-product codes have
+``d_eff = d`` for *every* SM circuit, making them a calibration point for
+PropHunt (optimization should find little to improve).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .classical import ClassicalCode
+from .css import CSSCode
+
+
+def hypergraph_product(c1: ClassicalCode, c2: ClassicalCode, name: str | None = None) -> CSSCode:
+    h1 = c1.check_matrix
+    h2 = c2.check_matrix
+    m1, n1 = h1.shape
+    m2, n2 = h2.shape
+    hx = np.concatenate(
+        [np.kron(h1, np.eye(n2, dtype=np.uint8)), np.kron(np.eye(m1, dtype=np.uint8), h2.T)],
+        axis=1,
+    )
+    hz = np.concatenate(
+        [np.kron(np.eye(n1, dtype=np.uint8), h2), np.kron(h1.T, np.eye(m2, dtype=np.uint8))],
+        axis=1,
+    )
+    return CSSCode(
+        hx=hx % 2,
+        hz=hz % 2,
+        name=name or f"hgp({c1.name},{c2.name})",
+    )
+
+
+def toric_like_code(d: int) -> CSSCode:
+    """Hypergraph product of two repetition codes: an unrotated surface code."""
+    from .classical import repetition_code
+
+    rep = repetition_code(d)
+    code = hypergraph_product(rep, rep, name=f"hgp_surface_d{d}")
+    code.distance = d
+    return code

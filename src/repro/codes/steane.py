@@ -1,0 +1,21 @@
+"""The [[7, 1, 3]] Steane code.
+
+Included because the paper (§3.1) uses it as the example where *every*
+CNOT ordering produces distance-reducing hook errors — a useful negative
+control for PropHunt's ambiguity analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .classical import hamming_code
+from .css import CSSCode
+
+
+def steane_code() -> CSSCode:
+    h = hamming_code().check_matrix
+    code = CSSCode(hx=h.copy(), hz=h.copy(), name="steane", distance=3)
+    logical = np.ones((1, 7), dtype=np.uint8)  # X^7 / Z^7 are logical reps
+    code.set_logicals(logical.copy(), logical.copy())
+    return code

@@ -1,0 +1,111 @@
+"""Rotated surface codes (paper §2.2, Figure 2).
+
+Layout: data qubits on a d x d grid at integer coordinates (row, col);
+ancillas on the dual grid at plaquette corners (i, j) with
+0 <= i, j <= d.  A plaquette at (i, j) acts on the (up to four) data qubits
+of the cell above-left of it: (i-1, j-1), (i-1, j), (i, j-1), (i, j).
+Plaquettes are X-type when (i + j) is even, Z-type otherwise, which
+reproduces the paper's d=3 matrices exactly.  Boundary (weight-2)
+plaquettes alternate so that X-type half-plaquettes sit on the left/right
+edges and Z-type on the top/bottom edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .css import CSSCode
+
+
+def _plaquette_positions(d: int) -> list[tuple[int, int]]:
+    positions: list[tuple[int, int]] = []
+    for i in range(d + 1):
+        for j in range(d + 1):
+            interior = 1 <= i <= d - 1 and 1 <= j <= d - 1
+            top = i == 0 and 1 <= j <= d - 1 and j % 2 == 1
+            bottom = i == d and 1 <= j <= d - 1 and (i + j) % 2 == 1
+            left = j == 0 and 1 <= i <= d - 1 and i % 2 == 0
+            right = j == d and 1 <= i <= d - 1 and (i + j) % 2 == 0
+            if interior or top or bottom or left or right:
+                positions.append((i, j))
+    return positions
+
+
+def _plaquette_support(d: int, i: int, j: int) -> list[int]:
+    support = []
+    for r in (i - 1, i):
+        for c in (j - 1, j):
+            if 0 <= r < d and 0 <= c < d:
+                support.append(r * d + c)
+    return support
+
+
+def rotated_surface_code(d: int) -> CSSCode:
+    """Build the distance-``d`` rotated surface code ([[d^2, 1, d]]).
+
+    ``d`` must be odd (the rotated layout needs odd distance for the
+    alternating boundary to close up).
+    """
+    if d < 2 or d % 2 == 0:
+        raise ValueError("rotated surface code requires odd d >= 3")
+
+    x_rows, z_rows = [], []
+    x_coords, z_coords = [], []
+    for (i, j) in _plaquette_positions(d):
+        row = np.zeros(d * d, dtype=np.uint8)
+        row[_plaquette_support(d, i, j)] = 1
+        # Plaquette coordinates are offset by 0.5 onto the dual lattice so
+        # they render between the data qubits they touch.
+        coord = (i - 0.5, j - 0.5)
+        if (i + j) % 2 == 0:
+            x_rows.append(row)
+            x_coords.append(coord)
+        else:
+            z_rows.append(row)
+            z_coords.append(coord)
+
+    hx = np.array(x_rows, dtype=np.uint8)
+    hz = np.array(z_rows, dtype=np.uint8)
+
+    code = CSSCode(
+        hx=hx,
+        hz=hz,
+        name=f"surface_d{d}",
+        distance=d,
+        qubit_coords=[(float(r), float(c)) for r in range(d) for c in range(d)],
+        x_stab_coords=x_coords,
+        z_stab_coords=z_coords,
+    )
+
+    # Logical X is any horizontal row of X's; logical Z any vertical column
+    # of Z's (§3.1).  Use the middle row/column like the paper's Figure 2.
+    mid = (d - 1) // 2
+    lx = np.zeros((1, d * d), dtype=np.uint8)
+    lx[0, [mid * d + c for c in range(d)]] = 1
+    lz = np.zeros((1, d * d), dtype=np.uint8)
+    lz[0, [r * d + mid for r in range(d)]] = 1
+    code.set_logicals(lx, lz)
+    return code
+
+
+def plaquette_neighbors(code: CSSCode, kind: str, index: int) -> dict[str, int | None]:
+    """Map a surface-code plaquette's data qubits to compass directions.
+
+    Returns ``{"nw": q, "ne": q, "sw": q, "se": q}`` with ``None`` for
+    directions that fall off the boundary.  Used by the hand-designed
+    schedule (§3.1) to order CNOTs geometrically.
+    """
+    coords = code.x_stab_coords if kind == "x" else code.z_stab_coords
+    if coords is None or code.qubit_coords is None:
+        raise ValueError("code has no geometric layout")
+    ci, cj = coords[index]
+    support = (
+        code.x_stab_support(index) if kind == "x" else code.z_stab_support(index)
+    )
+    by_coord = {code.qubit_coords[q]: q for q in support}
+    return {
+        "nw": by_coord.get((ci - 0.5, cj - 0.5)),
+        "ne": by_coord.get((ci - 0.5, cj + 0.5)),
+        "sw": by_coord.get((ci + 0.5, cj - 0.5)),
+        "se": by_coord.get((ci + 0.5, cj + 0.5)),
+    }

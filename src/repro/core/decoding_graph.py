@@ -1,0 +1,87 @@
+"""Bipartite circuit-level decoding graphs (paper §5.1).
+
+Nodes are error mechanisms and syndromes (detectors); an edge means "this
+error flips that syndrome".  PropHunt's subgraph machinery operates on
+submatrices of the circuit-level ``H`` and ``L`` induced by a syndrome
+subset ``S'``: the error set is *all* mechanisms whose detector support
+lies inside ``S'`` (the "errors connected only to the syndromes s'" of
+§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.dem import DetectorErrorModel
+
+
+class DecodingGraph:
+    """Adjacency view of a DEM plus submatrix extraction."""
+
+    def __init__(self, dem: DetectorErrorModel):
+        self.dem = dem
+        self.num_errors = dem.num_errors
+        self.num_detectors = dem.num_detectors
+        self.error_dets: list[tuple[int, ...]] = [
+            m.detectors for m in dem.mechanisms
+        ]
+        self.error_obs: list[tuple[int, ...]] = [
+            m.observables for m in dem.mechanisms
+        ]
+        self.det_errors: list[list[int]] = [[] for _ in range(dem.num_detectors)]
+        for e, dets in enumerate(self.error_dets):
+            for d in dets:
+                self.det_errors[d].append(e)
+
+    def closure_errors(self, det_subset: set[int]) -> list[int]:
+        """All errors whose entire detector support lies in ``det_subset``."""
+        out = []
+        candidates: set[int] = set()
+        for d in det_subset:
+            candidates.update(self.det_errors[d])
+        for e in sorted(candidates):
+            if all(d in det_subset for d in self.error_dets[e]):
+                out.append(e)
+        return out
+
+    def submatrices(
+        self, det_subset: list[int], error_subset: list[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense (H', L') for the given syndrome rows / error columns."""
+        det_index = {d: i for i, d in enumerate(det_subset)}
+        h = np.zeros((len(det_subset), len(error_subset)), dtype=np.uint8)
+        l_mat = np.zeros(
+            (self.dem.num_observables, len(error_subset)), dtype=np.uint8
+        )
+        for j, e in enumerate(error_subset):
+            for d in self.error_dets[e]:
+                if d in det_index:
+                    h[det_index[d], j] = 1
+            for o in self.error_obs[e]:
+                l_mat[o, j] = 1
+        return h, l_mat
+
+
+@dataclass
+class Subgraph:
+    """A connected decoding subgraph: syndrome rows + closed error set."""
+
+    detectors: list[int]
+    errors: list[int]
+    h: np.ndarray
+    l: np.ndarray
+
+    @property
+    def num_errors(self) -> int:
+        return len(self.errors)
+
+    @property
+    def num_detectors(self) -> int:
+        return len(self.detectors)
+
+    def __repr__(self) -> str:
+        return (
+            f"Subgraph(detectors={self.num_detectors}, errors={self.num_errors})"
+        )

@@ -1,0 +1,129 @@
+"""Pruning candidate changes (paper §5.4).
+
+Two gates before a change may be applied:
+
+* **circuit validity** — the rewritten schedule must still preserve
+  stabilizer commutation and be schedulable (acyclic precedence);
+* **ambiguity removal** — rebuilding the circuit-level matrices for the
+  candidate, the original subgraph's syndrome rows (matched by their
+  stable ``(round, kind, stab)`` labels) must now satisfy
+  ``L' in rowspace(H')``, *and* the transported logical-error mechanisms
+  must no longer form a logical error (``H e != 0`` or ``L e = 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import gf2
+from ..circuits.schedule import Schedule
+from ..codes.css import CSSCode
+from ..noise.model import NoiseModel
+from ..sim.dem import DetectorErrorModel
+from .ambiguity import is_ambiguous
+from .changes import CandidateChange
+from .decoding_graph import DecodingGraph, Subgraph
+
+
+@dataclass
+class PruneOutcome:
+    """Why a candidate survived or died (useful for ablations)."""
+
+    candidate: CandidateChange
+    schedule: Schedule | None
+    valid_circuit: bool
+    removes_ambiguity: bool
+    breaks_logical_error: bool
+
+    @property
+    def verified(self) -> bool:
+        return self.valid_circuit and self.removes_ambiguity and self.breaks_logical_error
+
+
+def _transport_logical_error(
+    old_dem: DetectorErrorModel,
+    new_dem: DetectorErrorModel,
+    logical_error: list[int],
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Re-evaluate the old logical error's faults in the new circuit.
+
+    Faults are identified by (gate label, pauli) — the gate set is
+    unchanged by schedule rewrites, only its order.  Returns the XOR of
+    the transported mechanisms' (detector, observable) signatures, or
+    ``None`` if a fault can no longer be located (it became invisible).
+    """
+    index: dict[tuple, int] = {}
+    for j, mech in enumerate(new_dem.mechanisms):
+        for src in mech.sources:
+            index[(src.label, src.pauli)] = j
+
+    det_sig = np.zeros(new_dem.num_detectors, dtype=np.uint8)
+    obs_sig = np.zeros(new_dem.num_observables, dtype=np.uint8)
+    for err in logical_error:
+        for src in old_dem.mechanisms[err].sources:
+            j = index.get((src.label, src.pauli))
+            if j is None:
+                # The fault no longer flips anything: it dropped out of the
+                # DEM entirely, which certainly breaks the logical error.
+                continue
+            mech = new_dem.mechanisms[j]
+            for d in mech.detectors:
+                det_sig[d] ^= 1
+            for o in mech.observables:
+                obs_sig[o] ^= 1
+            # Take one representative fault per old mechanism.  Sources
+            # merged in the old circuit can in principle diverge after the
+            # rewrite; using the first is the conservative reading of
+            # §5.4's "updated circuit-level errors" and errs toward
+            # rejecting candidates (a diverged sibling would differ even
+            # more from the original logical error).
+            break
+    return det_sig, obs_sig
+
+
+def check_candidate(
+    code: CSSCode,
+    schedule: Schedule,
+    candidate: CandidateChange,
+    subgraph: Subgraph,
+    old_dem: DetectorErrorModel,
+    logical_error: list[int],
+    build_dem,
+) -> PruneOutcome:
+    """Run both §5.4 checks on one candidate.
+
+    ``build_dem`` is a callable ``Schedule -> DetectorErrorModel`` so the
+    caller controls noise model, rounds, basis and caching.
+    """
+    try:
+        new_schedule = candidate.apply_to(schedule)
+    except (ValueError, KeyError):
+        return PruneOutcome(candidate, None, False, False, False)
+    if not new_schedule.is_valid():
+        return PruneOutcome(candidate, new_schedule, False, False, False)
+
+    new_dem = build_dem(new_schedule)
+
+    # Match the original ambiguous syndrome rows in the new DEM by label.
+    label_to_new = {label: i for i, label in enumerate(new_dem.detector_labels)}
+    new_dets = []
+    for d in subgraph.detectors:
+        label = old_dem.detector_labels[d]
+        nd = label_to_new.get(label)
+        if nd is None:
+            return PruneOutcome(candidate, new_schedule, True, False, False)
+        new_dets.append(nd)
+
+    new_graph = DecodingGraph(new_dem)
+    det_set = set(new_dets)
+    errors = new_graph.closure_errors(det_set)
+    h_new, l_new = new_graph.submatrices(sorted(det_set), errors)
+    removes = not is_ambiguous(h_new, l_new)
+
+    transported = _transport_logical_error(old_dem, new_dem, logical_error)
+    det_sig, obs_sig = transported
+    breaks = bool(det_sig.any()) or not bool(obs_sig.any())
+
+    return PruneOutcome(candidate, new_schedule, True, removes, breaks)

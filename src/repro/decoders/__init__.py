@@ -1,0 +1,26 @@
+"""Decoders: MWPM, BP+OSD, exact lookup, and the LER pipeline."""
+
+from .base import Decoder
+from .bposd import BpOsdDecoder
+from .lookup import LookupDecoder
+from .matching import MatchingDecoder, detector_subset_for_basis
+from .metrics import (
+    LogicalErrorRate,
+    MemoryResult,
+    dem_for,
+    estimate_logical_error_rate,
+    make_decoder,
+)
+
+__all__ = [
+    "Decoder",
+    "BpOsdDecoder",
+    "LookupDecoder",
+    "MatchingDecoder",
+    "detector_subset_for_basis",
+    "LogicalErrorRate",
+    "MemoryResult",
+    "dem_for",
+    "estimate_logical_error_rate",
+    "make_decoder",
+]

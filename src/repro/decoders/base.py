@@ -1,0 +1,28 @@
+"""Decoder interface."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..sim.dem import DetectorErrorModel
+
+
+class Decoder(abc.ABC):
+    """Predicts observable flips from detector outcomes."""
+
+    def __init__(self, dem: DetectorErrorModel):
+        self.dem = dem
+
+    @abc.abstractmethod
+    def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
+        """Map (shots, num_detectors) syndromes to (shots, num_observables)
+        predicted observable flips."""
+
+    def logical_failures(
+        self, detectors: np.ndarray, observables: np.ndarray
+    ) -> np.ndarray:
+        """Per-shot boolean: did the decoder mispredict any observable?"""
+        predictions = self.decode_batch(detectors)
+        return (predictions != observables).any(axis=1)

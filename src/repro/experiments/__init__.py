@@ -1,0 +1,28 @@
+"""One module per paper table/figure; see DESIGN.md for the index."""
+
+from . import (
+    fig01_predictors,
+    fig06_schedules,
+    fig12_benchmarks,
+    fig13_random_starts,
+    fig14_scaling,
+    fig15_idle,
+    fig16_zne,
+    table1_codes,
+    table2_models,
+)
+from .common import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "fig01_predictors",
+    "fig06_schedules",
+    "fig12_benchmarks",
+    "fig13_random_starts",
+    "fig14_scaling",
+    "fig15_idle",
+    "fig16_zne",
+    "table1_codes",
+    "table2_models",
+]
+from . import ablations

@@ -1,0 +1,71 @@
+"""Shared experiment plumbing: result rows and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """A named table of result rows (one per measured configuration)."""
+
+    name: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **kwargs: Any) -> None:
+        self.rows.append(kwargs)
+
+    def columns(self) -> list[str]:
+        cols: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
+        return cols
+
+    def format_table(self) -> str:
+        """Plain-text table in the style of the paper's result listings."""
+        cols = self.columns()
+        if not cols:
+            return f"== {self.name} ==\n(no rows)"
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                if value != 0 and (abs(value) < 1e-2 or abs(value) >= 1e4):
+                    return f"{value:.3e}"
+                return f"{value:.4g}"
+            return str(value)
+
+        table = [[fmt(row.get(c, "")) for c in cols] for row in self.rows]
+        widths = [
+            max(len(c), *(len(r[i]) for r in table)) if table else len(c)
+            for i, c in enumerate(cols)
+        ]
+        lines = [f"== {self.name} =="]
+        if self.notes:
+            lines.append(self.notes)
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in table:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.format_table())
+
+    def to_csv(self) -> str:
+        """Comma-separated export (header + rows) for archiving results."""
+        cols = self.columns()
+        lines = [",".join(cols)]
+        for row in self.rows:
+            cells = []
+            for c in cols:
+                value = row.get(c, "")
+                text = repr(value) if isinstance(value, float) else str(value)
+                if "," in text or '"' in text:
+                    text = '"' + text.replace('"', '""') + '"'
+                cells.append(text)
+            lines.append(",".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table/figure::
+
+    python -m repro.experiments.runner table1
+    python -m repro.experiments.runner fig12 --full
+    python -m repro.experiments.runner all
+
+``--full`` switches from laptop-scale defaults to heavier parameters
+(closer to the paper's; still hours, not days).  Results print as plain
+tables; redirect to a file to archive them (EXPERIMENTS.md records one
+such run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    fig01_predictors,
+    fig06_schedules,
+    fig12_benchmarks,
+    fig13_random_starts,
+    fig14_scaling,
+    fig15_idle,
+    fig16_zne,
+    table1_codes,
+    table2_models,
+)
+
+ALL_CODES = (
+    "surface_d3",
+    "surface_d5",
+    "surface_d7",
+    "surface_d9",
+    "lp39",
+    "rqt60",
+    "rqt54",
+    "rqt108",
+)
+
+
+def _run_fig16(full: bool):
+    a = fig16_zne.run_amplification()
+    b = fig16_zne.run_bias(trials=200 if full else 40)
+    return [a, b]
+
+
+EXPERIMENTS = {
+    "fig1": lambda full: [
+        fig01_predictors.run(shots=20_000 if full else 5000)
+    ],
+    "fig6": lambda full: [
+        fig06_schedules.run(shots=50_000 if full else 10_000)
+    ],
+    "table1": lambda full: [
+        table1_codes.run(distance_iterations=400 if full else 80)
+    ],
+    "fig12": lambda full: [
+        fig12_benchmarks.run(
+            codes=ALL_CODES if full else ("surface_d3", "surface_d5", "lp39", "rqt60"),
+            p_values=(5e-4, 1e-3, 3e-3) if full else (1e-3, 3e-3),
+            shots=30_000 if full else 5000,
+            include_intermediate=full,
+        )
+    ],
+    "fig13": lambda full: [
+        fig13_random_starts.run(
+            num_starts=3,
+            shots=20_000 if full else 6000,
+            iterations=6 if full else 4,
+        )
+    ],
+    "table2": lambda full: [
+        table2_models.run(global_timeout=60.0 if full else 5.0)
+    ],
+    "fig14": lambda full: [
+        fig14_scaling.run(
+            samples_per_code=100 if full else 25,
+            codes=("surface_d3", "surface_d5", "surface_d7", "rqt60")
+            if full
+            else ("surface_d3", "surface_d5", "rqt60"),
+        )
+    ],
+    "fig15": lambda full: [
+        fig15_idle.run(shots=20_000 if full else 6000)
+    ],
+    "fig16": _run_fig16,
+}
+
+ALIASES = {
+    "figure1": "fig1",
+    "figure6": "fig6",
+    "figure12": "fig12",
+    "figure13": "fig13",
+    "figure14": "fig14",
+    "figure15": "fig15",
+    "figure16": "fig16",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiment",
+        help=f"one of {sorted(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale parameters (much slower)",
+    )
+    args = parser.parse_args(argv)
+
+    name = ALIASES.get(args.experiment, args.experiment)
+    targets = sorted(EXPERIMENTS) if name == "all" else [name]
+    for target in targets:
+        if target not in EXPERIMENTS:
+            parser.error(f"unknown experiment {target!r}")
+        t0 = time.monotonic()
+        for result in EXPERIMENTS[target](args.full):
+            result.print()
+            print()
+        print(f"[{target} finished in {time.monotonic() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""GF(2) linear algebra: bit-packed matrices and dense helpers."""
+
+from .bitmat import BitMatrix, pack_rows, unpack_rows
+from .core import (
+    in_rowspace,
+    matmul,
+    min_weight_in_affine,
+    nullspace,
+    rank,
+    row_basis,
+    rref,
+    solve,
+)
+
+__all__ = [
+    "BitMatrix",
+    "pack_rows",
+    "unpack_rows",
+    "in_rowspace",
+    "matmul",
+    "min_weight_in_affine",
+    "nullspace",
+    "rank",
+    "row_basis",
+    "rref",
+    "solve",
+]

@@ -1,0 +1,6 @@
+"""MaxSAT substrate: WCNF models and a branch-and-bound solver."""
+
+from .solver import MaxSatResult, MaxSatSolver
+from .wcnf import WCNF
+
+__all__ = ["MaxSatResult", "MaxSatSolver", "WCNF"]

@@ -1,0 +1,162 @@
+"""A branch-and-bound MaxSAT solver (Loandra substitute).
+
+DPLL with unit propagation on the hard clauses, plus a cost bound on
+violated soft clauses.  Decision order prefers satisfying soft clauses
+(assign errors "off" first), so the first solution found is often close
+to optimal and the bound prunes aggressively — the same behaviour class
+as Loandra's core-boosted *linear search* (start from a feasible model
+and tighten the cost).
+
+The solver is exact: it returns an optimal model or proves hard-UNSAT.
+A wall-clock timeout makes it safe to embed in benchmarks (the paper ran
+Loandra with a 360 s timeout, §5.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .wcnf import WCNF
+
+
+@dataclass
+class MaxSatResult:
+    """Outcome of a MaxSAT solve."""
+
+    status: str  # "optimal", "timeout", "unsat"
+    cost: float | None
+    assignment: dict[int, bool] | None
+    elapsed: float
+    nodes_explored: int
+
+
+class MaxSatSolver:
+    """Exact branch-and-bound over a :class:`WCNF`."""
+
+    def __init__(self, wcnf: WCNF, timeout: float = 360.0):
+        self.wcnf = wcnf
+        self.timeout = timeout
+        n = wcnf.num_vars
+        # Occurrence lists: literal -> clause indices.
+        self.clauses = [list(c) for c in wcnf.hard]
+        self.occurs: dict[int, list[int]] = {}
+        for ci, clause in enumerate(self.clauses):
+            for lit in clause:
+                self.occurs.setdefault(lit, []).append(ci)
+        self.soft = list(wcnf.soft)
+        self.soft_by_var: dict[int, float] = {}
+        for lit, w in self.soft:
+            self.soft_by_var[lit] = self.soft_by_var.get(lit, 0.0) + w
+        self.num_vars = n
+
+    # -- propagation ---------------------------------------------------------------
+
+    def _propagate(
+        self, assign: dict[int, bool], trail: list[int]
+    ) -> bool:
+        """Unit propagation; returns False on conflict.
+
+        ``trail`` records variables assigned here so the caller can undo.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for ci, clause in enumerate(self.clauses):
+                unassigned = None
+                satisfied = False
+                count_unassigned = 0
+                for lit in clause:
+                    var = abs(lit)
+                    val = assign.get(var)
+                    if val is None:
+                        unassigned = lit
+                        count_unassigned += 1
+                        if count_unassigned > 1:
+                            break
+                    elif (lit > 0) == val:
+                        satisfied = True
+                        break
+                if satisfied or count_unassigned > 1:
+                    continue
+                if count_unassigned == 0:
+                    return False  # conflict
+                var = abs(unassigned)
+                assign[var] = unassigned > 0
+                trail.append(var)
+                changed = True
+        return True
+
+    def _current_cost(self, assign: dict[int, bool]) -> float:
+        cost = 0.0
+        for lit, w in self.soft:
+            var = abs(lit)
+            val = assign.get(var)
+            if val is not None and ((lit > 0) != val):
+                cost += w
+        return cost
+
+    # -- search -----------------------------------------------------------------------
+
+    def solve(self) -> MaxSatResult:
+        start = time.monotonic()
+        best_cost: float | None = None
+        best_assign: dict[int, bool] | None = None
+        nodes = 0
+        timed_out = False
+
+        assign: dict[int, bool] = {}
+        trail: list[int] = []
+        if not self._propagate(assign, trail):
+            return MaxSatResult("unsat", None, None, time.monotonic() - start, 1)
+
+        # Branch on soft variables first (cheapest-first = errors off).
+        soft_vars = [abs(lit) for lit, _ in self.soft]
+        other_vars = [
+            v for v in range(1, self.num_vars + 1) if v not in set(soft_vars)
+        ]
+        order = soft_vars + other_vars
+
+        def preferred(var: int) -> bool:
+            # Satisfy the soft literal first if the variable has one.
+            lit = None
+            if var in self.soft_by_var:
+                lit = var
+            elif -var in self.soft_by_var:
+                lit = -var
+            return lit is None or lit > 0
+
+        def recurse(depth_assign: dict[int, bool]) -> None:
+            nonlocal best_cost, best_assign, nodes, timed_out
+            if timed_out or time.monotonic() - start > self.timeout:
+                timed_out = True
+                return
+            nodes += 1
+            cost = self._current_cost(depth_assign)
+            if best_cost is not None and cost >= best_cost:
+                return  # bound
+            var = next((v for v in order if v not in depth_assign), None)
+            if var is None:
+                best_cost = cost
+                best_assign = dict(depth_assign)
+                return
+            first = preferred(var)
+            for value in (first, not first):
+                local_trail: list[int] = []
+                depth_assign[var] = value
+                local_trail.append(var)
+                if self._propagate(depth_assign, local_trail):
+                    recurse(depth_assign)
+                for v in local_trail:
+                    del depth_assign[v]
+                if timed_out:
+                    return
+
+        recurse(assign)
+        elapsed = time.monotonic() - start
+        if best_assign is None:
+            status = "timeout" if timed_out else "unsat"
+            return MaxSatResult(status, None, None, elapsed, nodes)
+        status = "timeout" if timed_out else "optimal"
+        # Timeout with an incumbent still returns the best model found.
+        return MaxSatResult(status, best_cost, best_assign, elapsed, nodes)

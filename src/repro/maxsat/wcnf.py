@@ -1,0 +1,91 @@
+"""Weighted CNF models with the paper's tree-structured XOR encoding.
+
+Paper §5.2 formulates min-weight logical error search as MaxSAT:
+
+* a variable per error and per syndrome/logical node;
+* hard parity constraints ``S_i = E_j (+) ... (+) E_k`` (rows of H') and
+  ``L_i = E_j (+) ... (+) E_k`` (rows of L');
+* hard constraints: all syndromes false, at least one logical true;
+* a soft unit clause ``not E_i`` per error, so the optimum is the fewest
+  errors satisfying the hard constraints.
+
+Multivariate XORs are broken into a balanced tree of 3-literal XORs using
+auxiliary variables (the paper's standard trick to avoid the exponential
+direct CNF), and each small XOR is Tseitin-expanded into CNF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WCNF:
+    """A weighted CNF instance (hard clauses + unit soft clauses)."""
+
+    num_vars: int = 0
+    hard: list[tuple[int, ...]] = field(default_factory=list)
+    soft: list[tuple[int, float]] = field(default_factory=list)  # (literal, weight)
+    names: dict[str, int] = field(default_factory=dict)
+
+    def new_var(self, name: str | None = None) -> int:
+        """Allocate a variable; returns its positive literal (1-based)."""
+        self.num_vars += 1
+        if name is not None:
+            if name in self.names:
+                raise ValueError(f"duplicate variable name {name!r}")
+            self.names[name] = self.num_vars
+        return self.num_vars
+
+    def add_hard(self, *literals: int) -> None:
+        if not literals:
+            raise ValueError("empty clause would make the formula UNSAT")
+        self.hard.append(tuple(literals))
+
+    def add_soft(self, literal: int, weight: float = 1.0) -> None:
+        self.soft.append((literal, weight))
+
+    # -- XOR encodings ------------------------------------------------------------
+
+    def add_xor2_equals(self, out: int, a: int, b: int) -> None:
+        """Hard clauses for out = a (+) b (Tseitin expansion, 4 clauses)."""
+        self.add_hard(-out, a, b)
+        self.add_hard(-out, -a, -b)
+        self.add_hard(out, -a, b)
+        self.add_hard(out, a, -b)
+
+    def add_equal(self, out: int, a: int) -> None:
+        self.add_hard(-out, a)
+        self.add_hard(out, -a)
+
+    def add_xor_tree(self, out: int, inputs: list[int]) -> None:
+        """out = XOR(inputs) via a balanced tree of auxiliaries (§5.2)."""
+        if not inputs:
+            # XOR of nothing is false.
+            self.add_hard(-out)
+            return
+        layer = list(inputs)
+        while len(layer) > 1:
+            next_layer: list[int] = []
+            for i in range(0, len(layer) - 1, 2):
+                if len(layer) == 2:
+                    # Final pair feeds the output directly.
+                    aux = out
+                else:
+                    aux = self.new_var()
+                self.add_xor2_equals(aux, layer[i], layer[i + 1])
+                next_layer.append(aux)
+            if len(layer) % 2 == 1:
+                next_layer.append(layer[-1])
+            layer = next_layer
+        if layer[0] != out:
+            self.add_equal(out, layer[0])
+
+    # -- statistics (Table 2 columns) -----------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "variables": self.num_vars,
+            "hard_clauses": len(self.hard),
+            "soft_clauses": len(self.soft),
+        }

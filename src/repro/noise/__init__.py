@@ -1,0 +1,5 @@
+"""Circuit-level noise models."""
+
+from .model import HARDWARE_IDLE_POINTS, NoiseModel
+
+__all__ = ["HARDWARE_IDLE_POINTS", "NoiseModel"]

@@ -1,0 +1,19 @@
+"""Simulation substrate: DEM extraction, sampling, tableau verification."""
+
+from .frame import FrameSimulator
+from .dem import DetectorErrorModel, ErrorMechanism, ErrorSource, extract_dem
+from .sampler import DemSampler, SampleBatch
+from .tableau import CircuitResult, TableauSimulator, verify_deterministic_detectors
+
+__all__ = [
+    "FrameSimulator",
+    "DetectorErrorModel",
+    "ErrorMechanism",
+    "ErrorSource",
+    "extract_dem",
+    "DemSampler",
+    "SampleBatch",
+    "CircuitResult",
+    "TableauSimulator",
+    "verify_deterministic_detectors",
+]

@@ -1,0 +1,235 @@
+"""Detector error model (DEM) extraction by symbolic Pauli-frame propagation.
+
+This reproduces Stim's ``circuit.detector_error_model()``: every possible
+Pauli fault of every noise channel is propagated through the Clifford
+circuit (using the deterministic rules of paper §2.6) to find which
+measurements — hence which detectors and logical observables — it flips.
+The result is the circuit-level check matrix ``H`` and observable matrix
+``L`` of §2.7: columns are error mechanisms, rows are detectors /
+observables.
+
+Vectorized over mechanisms: all error frames advance simultaneously as
+boolean matrices, so extraction costs one dense column-XOR per gate
+rather than one circuit walk per error.
+
+Mechanisms with identical (detector set, observable set) are merged, with
+probabilities composed as ``p = p1(1-p2) + p2(1-p1)`` and gate provenance
+concatenated — provenance is how PropHunt maps errors back to schedule
+edges (§5.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from ..circuits.circuit import Circuit
+
+# The 15 non-identity two-qubit Pauli pairs, as (first, second) with
+# each in {"I", "X", "Y", "Z"}.
+_TWO_QUBIT_PAULIS = [
+    (p1, p2)
+    for p1 in ("I", "X", "Y", "Z")
+    for p2 in ("I", "X", "Y", "Z")
+    if (p1, p2) != ("I", "I")
+]
+
+
+@dataclass(frozen=True)
+class ErrorSource:
+    """Where a mechanism physically comes from: gate label + Pauli."""
+
+    label: tuple
+    pauli: str
+    qubits: tuple[int, ...]
+
+
+@dataclass
+class ErrorMechanism:
+    """A merged circuit-level error: probability, flips, provenance."""
+
+    prob: float
+    detectors: tuple[int, ...]
+    observables: tuple[int, ...]
+    sources: tuple[ErrorSource, ...]
+
+
+@dataclass
+class DetectorErrorModel:
+    """Circuit-level H/L in mechanism-list form."""
+
+    mechanisms: list[ErrorMechanism]
+    num_detectors: int
+    num_observables: int
+    detector_labels: list[tuple] = field(default_factory=list)
+
+    @property
+    def num_errors(self) -> int:
+        return len(self.mechanisms)
+
+    def probabilities(self) -> np.ndarray:
+        return np.array([m.prob for m in self.mechanisms], dtype=np.float64)
+
+    def check_matrices(self) -> tuple[sparse.csc_matrix, sparse.csc_matrix]:
+        """Sparse H (detectors x errors) and L (observables x errors)."""
+        rows_h, cols_h, rows_l, cols_l = [], [], [], []
+        for j, m in enumerate(self.mechanisms):
+            for d in m.detectors:
+                rows_h.append(d)
+                cols_h.append(j)
+            for o in m.observables:
+                rows_l.append(o)
+                cols_l.append(j)
+        h = sparse.csc_matrix(
+            (np.ones(len(rows_h), dtype=np.uint8), (rows_h, cols_h)),
+            shape=(self.num_detectors, self.num_errors),
+        )
+        el = sparse.csc_matrix(
+            (np.ones(len(rows_l), dtype=np.uint8), (rows_l, cols_l)),
+            shape=(self.num_observables, self.num_errors),
+        )
+        return h, el
+
+    def undetectable_logical_mechanisms(self) -> list[ErrorMechanism]:
+        """Mechanisms that flip an observable but no detector (d_eff = 1!)."""
+        return [m for m in self.mechanisms if m.observables and not m.detectors]
+
+    def __repr__(self) -> str:
+        return (
+            f"DetectorErrorModel(errors={self.num_errors}, "
+            f"detectors={self.num_detectors}, observables={self.num_observables})"
+        )
+
+
+def _enumerate_noise_sites(circuit: Circuit) -> list[tuple[int, float, list[tuple[str, int]], tuple]]:
+    """All single-Pauli fault mechanisms: (op_idx, prob, [(P, qubit)...], label)."""
+    sites = []
+    for op_idx, op in enumerate(circuit):
+        if op.gate == "DEPOLARIZE1":
+            p = op.args[0] / 3.0
+            for (q,) in op.target_groups():
+                for pauli in ("X", "Y", "Z"):
+                    sites.append((op_idx, p, [(pauli, q)], op.label))
+        elif op.gate == "DEPOLARIZE2":
+            p = op.args[0] / 15.0
+            for (a, b) in op.target_groups():
+                for p1, p2 in _TWO_QUBIT_PAULIS:
+                    terms = []
+                    if p1 != "I":
+                        terms.append((p1, a))
+                    if p2 != "I":
+                        terms.append((p2, b))
+                    sites.append((op_idx, p, terms, op.label))
+        elif op.gate == "PAULI_CHANNEL_1":
+            px, py, pz = op.args
+            for (q,) in op.target_groups():
+                for pauli, prob in (("X", px), ("Y", py), ("Z", pz)):
+                    if prob > 0:
+                        sites.append((op_idx, prob, [(pauli, q)], op.label))
+    return sites
+
+
+def extract_dem(circuit: Circuit, merge: bool = True) -> DetectorErrorModel:
+    """Propagate every fault through the circuit and assemble the DEM."""
+    sites = _enumerate_noise_sites(circuit)
+    num_errors = len(sites)
+    num_qubits = circuit.num_qubits
+
+    # Frames: xf[e, q] means error e currently carries an X on qubit q.
+    xf = np.zeros((num_errors, num_qubits), dtype=bool)
+    zf = np.zeros((num_errors, num_qubits), dtype=bool)
+
+    # Group injection points by op index for the single walk.
+    inject: dict[int, list[tuple[int, list[tuple[str, int]]]]] = defaultdict(list)
+    for e, (op_idx, _, terms, _) in enumerate(sites):
+        inject[op_idx].append((e, terms))
+
+    meas_flip_cols: list[np.ndarray] = []
+    detector_rows: list[np.ndarray] = []
+    detector_labels: list[tuple] = []
+    observable_rows: dict[int, np.ndarray] = {}
+
+    for op_idx, op in enumerate(circuit):
+        if op.is_noise():
+            for e, terms in inject[op_idx]:
+                for pauli, q in terms:
+                    if pauli in ("X", "Y"):
+                        xf[e, q] ^= True
+                    if pauli in ("Z", "Y"):
+                        zf[e, q] ^= True
+            continue
+        if op.gate == "CNOT":
+            for c, t in op.target_groups():
+                xf[:, t] ^= xf[:, c]
+                zf[:, c] ^= zf[:, t]
+        elif op.gate == "H":
+            for (q,) in op.target_groups():
+                tmp = xf[:, q].copy()
+                xf[:, q] = zf[:, q]
+                zf[:, q] = tmp
+        elif op.gate in ("R", "RX"):
+            for (q,) in op.target_groups():
+                xf[:, q] = False
+                zf[:, q] = False
+        elif op.gate == "M":
+            for (q,) in op.target_groups():
+                meas_flip_cols.append(xf[:, q].copy())
+        elif op.gate == "MX":
+            for (q,) in op.target_groups():
+                meas_flip_cols.append(zf[:, q].copy())
+        elif op.gate == "DETECTOR":
+            row = np.zeros(num_errors, dtype=bool)
+            for idx in op.targets:
+                row ^= meas_flip_cols[idx]
+            detector_rows.append(row)
+            detector_labels.append(op.label)
+        elif op.gate == "OBSERVABLE_INCLUDE":
+            obs = int(op.args[0])
+            row = observable_rows.get(obs)
+            if row is None:
+                row = np.zeros(num_errors, dtype=bool)
+            for idx in op.targets:
+                row = row ^ meas_flip_cols[idx]
+            observable_rows[obs] = row
+
+    num_detectors = len(detector_rows)
+    num_observables = max(observable_rows) + 1 if observable_rows else 0
+    det_matrix = (
+        np.array(detector_rows, dtype=bool)
+        if detector_rows
+        else np.zeros((0, num_errors), dtype=bool)
+    )
+    obs_matrix = np.zeros((num_observables, num_errors), dtype=bool)
+    for obs, row in observable_rows.items():
+        obs_matrix[obs] = row
+
+    # Assemble mechanisms, merging identical flip signatures.
+    grouped: dict[tuple, ErrorMechanism] = {}
+    order: list[tuple] = []
+    for e, (op_idx, prob, terms, label) in enumerate(sites):
+        dets = tuple(int(d) for d in np.nonzero(det_matrix[:, e])[0])
+        obs = tuple(int(o) for o in np.nonzero(obs_matrix[:, e])[0])
+        if not dets and not obs:
+            continue  # invisible and harmless
+        pauli_str = "*".join(f"{p}{q}" for p, q in terms)
+        source = ErrorSource(label=label, pauli=pauli_str, qubits=tuple(q for _, q in terms))
+        key = (dets, obs) if merge else (dets, obs, e)
+        if key in grouped:
+            m = grouped[key]
+            m.prob = m.prob * (1 - prob) + prob * (1 - m.prob)
+            m.sources = m.sources + (source,)
+        else:
+            grouped[key] = ErrorMechanism(
+                prob=prob, detectors=dets, observables=obs, sources=(source,)
+            )
+            order.append(key)
+
+    return DetectorErrorModel(
+        mechanisms=[grouped[k] for k in order],
+        num_detectors=num_detectors,
+        num_observables=num_observables,
+        detector_labels=detector_labels,
+    )

@@ -1,0 +1,127 @@
+"""Direct Pauli-frame Monte-Carlo simulation of noisy circuits.
+
+An independent way to sample detector/observable outcomes: instead of
+compiling the circuit to a detector error model and XOR-ing mechanism
+columns (:mod:`repro.sim.sampler`), this simulator propagates a random
+Pauli frame per shot *through the circuit itself* — exactly Stim's
+``FrameSimulator``.  Agreement between the two paths is a strong
+end-to-end check of the DEM extraction (see
+``tests/test_sim_frame.py``).
+
+All shots advance together: the frame is a pair of (shots, qubits)
+boolean matrices, and each gate is a couple of vectorized column ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from .sampler import SampleBatch
+
+_TWO_QUBIT_PAULIS = [
+    (p1, p2)
+    for p1 in ("I", "X", "Y", "Z")
+    for p2 in ("I", "X", "Y", "Z")
+    if (p1, p2) != ("I", "I")
+]
+
+
+class FrameSimulator:
+    """Sample noisy-circuit detector outcomes by Pauli-frame propagation."""
+
+    def __init__(self, circuit: Circuit):
+        circuit.validate()
+        self.circuit = circuit
+        self.num_qubits = circuit.num_qubits
+
+    def sample(self, shots: int, rng: np.random.Generator | None = None) -> SampleBatch:
+        rng = rng or np.random.default_rng()
+        q = self.num_qubits
+        xf = np.zeros((shots, q), dtype=bool)
+        zf = np.zeros((shots, q), dtype=bool)
+        meas_flips: list[np.ndarray] = []
+        detector_cols: list[np.ndarray] = []
+        observable_cols: dict[int, np.ndarray] = {}
+
+        for op in self.circuit:
+            if op.gate == "CNOT":
+                for c, t in op.target_groups():
+                    xf[:, t] ^= xf[:, c]
+                    zf[:, c] ^= zf[:, t]
+            elif op.gate == "H":
+                for (qq,) in op.target_groups():
+                    tmp = xf[:, qq].copy()
+                    xf[:, qq] = zf[:, qq]
+                    zf[:, qq] = tmp
+            elif op.gate in ("R", "RX"):
+                for (qq,) in op.target_groups():
+                    xf[:, qq] = False
+                    zf[:, qq] = False
+            elif op.gate == "M":
+                for (qq,) in op.target_groups():
+                    meas_flips.append(xf[:, qq].copy())
+            elif op.gate == "MX":
+                for (qq,) in op.target_groups():
+                    meas_flips.append(zf[:, qq].copy())
+            elif op.gate == "DEPOLARIZE1":
+                p = op.args[0]
+                for (qq,) in op.target_groups():
+                    draw = rng.random(shots)
+                    # Equal thirds: X, Y, Z.
+                    is_x = draw < p / 3
+                    is_y = (draw >= p / 3) & (draw < 2 * p / 3)
+                    is_z = (draw >= 2 * p / 3) & (draw < p)
+                    xf[:, qq] ^= is_x | is_y
+                    zf[:, qq] ^= is_z | is_y
+            elif op.gate == "DEPOLARIZE2":
+                p = op.args[0]
+                for a, b in op.target_groups():
+                    draw = rng.random(shots)
+                    idx = np.floor(draw / (p / 15)).astype(np.int64)
+                    hit = draw < p
+                    for k, (p1, p2) in enumerate(_TWO_QUBIT_PAULIS):
+                        sel = hit & (idx == k)
+                        if not sel.any():
+                            continue
+                        if p1 in ("X", "Y"):
+                            xf[sel, a] ^= True
+                        if p1 in ("Z", "Y"):
+                            zf[sel, a] ^= True
+                        if p2 in ("X", "Y"):
+                            xf[sel, b] ^= True
+                        if p2 in ("Z", "Y"):
+                            zf[sel, b] ^= True
+            elif op.gate == "PAULI_CHANNEL_1":
+                px, py, pz = op.args
+                total = px + py + pz
+                for (qq,) in op.target_groups():
+                    draw = rng.random(shots)
+                    is_x = draw < px
+                    is_y = (draw >= px) & (draw < px + py)
+                    is_z = (draw >= px + py) & (draw < total)
+                    xf[:, qq] ^= is_x | is_y
+                    zf[:, qq] ^= is_z | is_y
+            elif op.gate == "DETECTOR":
+                col = np.zeros(shots, dtype=bool)
+                for idx in op.targets:
+                    col ^= meas_flips[idx]
+                detector_cols.append(col)
+            elif op.gate == "OBSERVABLE_INCLUDE":
+                obs = int(op.args[0])
+                col = observable_cols.get(obs, np.zeros(shots, dtype=bool))
+                for idx in op.targets:
+                    col = col ^ meas_flips[idx]
+                observable_cols[obs] = col
+            # TICK: no-op
+
+        num_obs = max(observable_cols) + 1 if observable_cols else 0
+        detectors = (
+            np.stack(detector_cols, axis=1).astype(np.uint8)
+            if detector_cols
+            else np.zeros((shots, 0), dtype=np.uint8)
+        )
+        observables = np.zeros((shots, num_obs), dtype=np.uint8)
+        for obs, col in observable_cols.items():
+            observables[:, obs] = col
+        return SampleBatch(detectors=detectors, observables=observables)

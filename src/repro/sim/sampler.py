@@ -1,0 +1,83 @@
+"""Monte-Carlo sampling of detector error models.
+
+Sampling works column-wise like Stim's detector sampler: each mechanism
+fires independently (Bernoulli with its probability); a shot's detector
+and observable bits are the XOR of the fired mechanisms' columns.  The
+fire events are drawn per-mechanism as a binomial count plus uniform shot
+indices, so the cost is O(E + total_fires) instead of O(E * shots), and
+the XOR accumulation is one sparse matrix product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from .dem import DetectorErrorModel
+
+
+@dataclass
+class SampleBatch:
+    """One batch of sampled shots."""
+
+    detectors: np.ndarray  # (shots, num_detectors) uint8
+    observables: np.ndarray  # (shots, num_observables) uint8
+
+    @property
+    def shots(self) -> int:
+        return self.detectors.shape[0]
+
+
+class DemSampler:
+    """Compiled sampler for a fixed DEM."""
+
+    def __init__(self, dem: DetectorErrorModel):
+        self.dem = dem
+        self.h, self.l = dem.check_matrices()
+        self.probs = dem.probabilities()
+        # CSR of the transposed matrices: rows = mechanisms.
+        self.h_t = self.h.T.tocsr()
+        self.l_t = self.l.T.tocsr()
+
+    def sample(self, shots: int, rng: np.random.Generator | None = None) -> SampleBatch:
+        rng = rng or np.random.default_rng()
+        num_errors = self.dem.num_errors
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        counts = rng.binomial(shots, self.probs)
+        for j in np.nonzero(counts)[0]:
+            hit_shots = rng.choice(shots, size=counts[j], replace=False)
+            rows.append(hit_shots)
+            cols.append(np.full(counts[j], j, dtype=np.int64))
+        if rows:
+            row_idx = np.concatenate(rows)
+            col_idx = np.concatenate(cols)
+        else:
+            row_idx = np.zeros(0, dtype=np.int64)
+            col_idx = np.zeros(0, dtype=np.int64)
+        fires = sparse.csr_matrix(
+            (np.ones(len(row_idx), dtype=np.int64), (row_idx, col_idx)),
+            shape=(shots, num_errors),
+        )
+        detectors = np.asarray(fires.dot(self.h_t).todense(), dtype=np.int64) % 2
+        observables = np.asarray(fires.dot(self.l_t).todense(), dtype=np.int64) % 2
+        return SampleBatch(
+            detectors=detectors.astype(np.uint8),
+            observables=observables.astype(np.uint8),
+        )
+
+    def sample_errors(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> tuple[sparse.csr_matrix, SampleBatch]:
+        """Sample returning also the raw error pattern (for decoder tests)."""
+        rng = rng or np.random.default_rng()
+        mask = rng.random((shots, self.dem.num_errors)) < self.probs[None, :]
+        fires = sparse.csr_matrix(mask.astype(np.int64))
+        detectors = np.asarray(fires.dot(self.h_t).todense(), dtype=np.int64) % 2
+        observables = np.asarray(fires.dot(self.l_t).todense(), dtype=np.int64) % 2
+        return fires, SampleBatch(
+            detectors=detectors.astype(np.uint8),
+            observables=observables.astype(np.uint8),
+        )

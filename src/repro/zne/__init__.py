@@ -1,0 +1,25 @@
+"""Zero-noise extrapolation: DS-ZNE baseline and Hook-ZNE."""
+
+from .ds_zne import DS_ZNE_DISTANCE_SETS, DistanceScalingZNE, ZNEOutcome
+from .extrapolate import (
+    exponential_extrapolate,
+    extrapolate_to_zero,
+    linear_extrapolate,
+    richardson_extrapolate,
+)
+from .hook_zne import HOOK_ZNE_DISTANCE_SETS, HookZNE, noise_dials_from_prophunt
+from .rb import RBWorkload
+
+__all__ = [
+    "DS_ZNE_DISTANCE_SETS",
+    "DistanceScalingZNE",
+    "ZNEOutcome",
+    "exponential_extrapolate",
+    "extrapolate_to_zero",
+    "linear_extrapolate",
+    "richardson_extrapolate",
+    "HOOK_ZNE_DISTANCE_SETS",
+    "HookZNE",
+    "noise_dials_from_prophunt",
+    "RBWorkload",
+]

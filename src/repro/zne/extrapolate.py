@@ -1,0 +1,81 @@
+"""Zero-noise extrapolation fits (mitiq substitute).
+
+Expectation values measured at noise scale factors >= 1 are extrapolated
+to the zero-noise limit.  Three standard factories: linear, Richardson
+(exact polynomial through all points), and exponential
+(``E = a + b * exp(-c * lam)``), the default for logical-error decay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+
+def linear_extrapolate(scales: np.ndarray, values: np.ndarray) -> float:
+    """Least-squares line, evaluated at scale 0."""
+    scales = np.asarray(scales, dtype=float)
+    values = np.asarray(values, dtype=float)
+    coeffs = np.polyfit(scales, values, 1)
+    return float(np.polyval(coeffs, 0.0))
+
+
+def richardson_extrapolate(scales: np.ndarray, values: np.ndarray) -> float:
+    """Polynomial of degree n-1 through all n points, at scale 0."""
+    scales = np.asarray(scales, dtype=float)
+    values = np.asarray(values, dtype=float)
+    # Lagrange evaluation at 0: sum_i y_i * prod_{j != i} (-x_j)/(x_i - x_j).
+    total = 0.0
+    n = len(scales)
+    for i in range(n):
+        term = values[i]
+        for j in range(n):
+            if j != i:
+                term *= -scales[j] / (scales[i] - scales[j])
+        total += term
+    return float(total)
+
+
+def exponential_extrapolate(
+    scales: np.ndarray, values: np.ndarray, asymptote: float = 0.0
+) -> float:
+    """Fit ``E = asymptote + b * exp(-c * lam)``; return value at lam = 0.
+
+    Falls back to linear extrapolation when the fit fails (e.g. values
+    not decaying, too noisy) — the same safety net mitiq applies.
+    """
+    scales = np.asarray(scales, dtype=float)
+    values = np.asarray(values, dtype=float)
+
+    def model(lam, b, c):
+        return asymptote + b * np.exp(-c * lam)
+
+    try:
+        shifted = values - asymptote
+        if np.any(shifted <= 0):
+            raise RuntimeError("values cross the asymptote")
+        # Log-linear seed for the nonlinear fit.
+        slope, intercept = np.polyfit(scales, np.log(shifted), 1)
+        p0 = (float(np.exp(intercept)), float(-slope))
+        params, _ = optimize.curve_fit(
+            model, scales, values, p0=p0, maxfev=2000
+        )
+        return float(model(0.0, *params))
+    except (RuntimeError, TypeError, ValueError):
+        return linear_extrapolate(scales, values)
+
+
+_METHODS = {
+    "linear": linear_extrapolate,
+    "richardson": richardson_extrapolate,
+    "exponential": exponential_extrapolate,
+}
+
+
+def extrapolate_to_zero(
+    scales, values, method: str = "exponential"
+) -> float:
+    """Dispatch on the factory name."""
+    if method not in _METHODS:
+        raise ValueError(f"unknown extrapolation method {method!r}")
+    return _METHODS[method](np.asarray(scales), np.asarray(values))

@@ -1,0 +1,49 @@
+"""Logical randomized-benchmarking workloads (mitiq-RB substitute).
+
+The paper's §7.2 evaluation runs randomized-benchmarking circuits with a
+two-qubit-gate depth of 50, with uniform per-gate noise of magnitude
+``P_L(d) = Lambda^{-(d+1)/2}``.  At the logical level an RB circuit's
+survival observable under symmetric Pauli noise decays as a Bernoulli
+process: each gate flips the observable's frame with probability
+``P_L``, so the ideal expectation after ``depth`` gates is
+``(1 - 2*P_L)^depth`` and a finite-shot estimate is binomial around it.
+
+``RBWorkload`` reproduces exactly that estimator, including shot noise —
+which is the quantity DS-ZNE vs Hook-ZNE trade off (estimator variance at
+few, coarse noise scales vs many, fine ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RBWorkload:
+    """A depth-``depth`` logical RB experiment."""
+
+    depth: int = 50
+
+    def ideal_expectation(self) -> float:
+        return 1.0
+
+    def expectation(self, gate_error: float) -> float:
+        """Noisy (infinite-shot) survival expectation."""
+        if not 0 <= gate_error <= 1:
+            raise ValueError(f"gate error {gate_error} outside [0, 1]")
+        return float((1.0 - 2.0 * gate_error) ** self.depth)
+
+    def flip_probability(self, gate_error: float) -> float:
+        """Per-shot probability the +-1 observable reads -1."""
+        return (1.0 - self.expectation(gate_error)) / 2.0
+
+    def sample_expectation(
+        self, gate_error: float, shots: int, rng: np.random.Generator
+    ) -> float:
+        """Finite-shot estimate of the expectation (binomial noise)."""
+        if shots <= 0:
+            raise ValueError("need at least one shot")
+        flips = rng.binomial(shots, self.flip_probability(gate_error))
+        return 1.0 - 2.0 * flips / shots

@@ -1,0 +1,120 @@
+"""Tests for analysis helpers: statistics and effective distance."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    RateEstimate,
+    lambda_factor,
+    projected_logical_rate,
+    wilson_interval,
+)
+from repro.analysis.deff import estimate_effective_distance
+from repro.circuits import nz_schedule, poor_schedule
+from repro.codes import rotated_surface_code
+
+
+class TestWilson:
+    def test_zero_shots(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(10, 100)
+        assert lo < 0.1 < hi
+
+    @given(st.integers(0, 50), st.integers(1, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_interval_bounds(self, failures, shots):
+        failures = min(failures, shots)
+        lo, hi = wilson_interval(failures, shots)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_narrows_with_shots(self):
+        lo1, hi1 = wilson_interval(5, 50)
+        lo2, hi2 = wilson_interval(500, 5000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+
+class TestRateEstimate:
+    def test_rate(self):
+        est = RateEstimate(5, 100)
+        assert est.rate == 0.05
+
+    def test_combine_with(self):
+        a = RateEstimate(10, 100)
+        b = RateEstimate(20, 100)
+        assert a.combine_with(b) == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_zero_shots_rate(self):
+        assert RateEstimate(0, 0).rate == 0.0
+
+
+class TestScalingModel:
+    def test_projected_rate(self):
+        # P_L(d) = Lambda^{-(d+1)/2}
+        assert projected_logical_rate(2.0, 3) == pytest.approx(0.25)
+        assert projected_logical_rate(2.0, 5) == pytest.approx(0.125)
+
+    def test_lambda_factor(self):
+        assert lambda_factor(1e-3, 5e-4) == pytest.approx(2.0)
+        assert math.isinf(lambda_factor(1e-3, 0.0))
+
+    def test_consistency(self):
+        lam = 3.0
+        ratio = projected_logical_rate(lam, 5) / projected_logical_rate(lam, 7)
+        assert ratio == pytest.approx(lam)
+
+
+class TestEffectiveDistance:
+    def test_nz_schedule_preserves_distance(self):
+        code = rotated_surface_code(3)
+        est = estimate_effective_distance(
+            code, nz_schedule(code), samples=30, rng=np.random.default_rng(0)
+        )
+        assert est.deff == 3
+
+    def test_poor_schedule_reduces_distance(self):
+        code = rotated_surface_code(3)
+        est = estimate_effective_distance(
+            code, poor_schedule(code), samples=30, rng=np.random.default_rng(0)
+        )
+        assert est.deff == 2
+
+    def test_weights_seen_are_sorted_unique(self):
+        code = rotated_surface_code(3)
+        est = estimate_effective_distance(
+            code, nz_schedule(code), samples=20, rng=np.random.default_rng(1)
+        )
+        assert list(est.weights_seen) == sorted(set(est.weights_seen))
+
+
+class TestSuppressionFit:
+    def test_recovers_exact_lambda(self):
+        from repro.analysis.stats import fit_suppression_factor
+
+        lam = 2.5
+        rates = {d: projected_logical_rate(lam, d) for d in (3, 5, 7, 9)}
+        assert fit_suppression_factor(rates) == pytest.approx(lam, rel=1e-9)
+
+    def test_tolerates_noise(self):
+        from repro.analysis.stats import fit_suppression_factor
+
+        rng = np.random.default_rng(0)
+        lam = 3.0
+        rates = {
+            d: projected_logical_rate(lam, d) * float(rng.uniform(0.8, 1.2))
+            for d in (3, 5, 7, 9, 11)
+        }
+        assert fit_suppression_factor(rates) == pytest.approx(lam, rel=0.2)
+
+    def test_rejects_degenerate_input(self):
+        from repro.analysis.stats import fit_suppression_factor
+
+        with pytest.raises(ValueError):
+            fit_suppression_factor({3: 1e-3})
+        with pytest.raises(ValueError):
+            fit_suppression_factor({3: 0.0, 5: 0.0})

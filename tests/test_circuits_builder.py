@@ -1,0 +1,127 @@
+"""Tests for the memory-experiment builder, verified by the tableau sim."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    build_memory_experiment,
+    coloration_schedule,
+    nz_schedule,
+    poor_schedule,
+)
+from repro.codes import load_benchmark_code, rotated_surface_code, steane_code
+from repro.sim import verify_deterministic_detectors
+
+
+@pytest.fixture(scope="module")
+def d3():
+    return rotated_surface_code(3)
+
+
+class TestStructure:
+    def test_qubit_layout(self, d3):
+        exp = build_memory_experiment(d3, nz_schedule(d3), rounds=2)
+        assert exp.circuit.num_qubits == d3.n + d3.num_x_stabs + d3.num_z_stabs
+
+    def test_measurement_count(self, d3):
+        rounds = 3
+        exp = build_memory_experiment(d3, nz_schedule(d3), rounds=rounds)
+        expected = rounds * (d3.num_x_stabs + d3.num_z_stabs) + d3.n
+        assert exp.circuit.num_measurements == expected
+
+    def test_detector_count_memory_z(self, d3):
+        rounds = 3
+        exp = build_memory_experiment(d3, nz_schedule(d3), rounds=rounds, basis="z")
+        # Round 0: z stabs only; rounds 1..r-1: all stabs; final: z stabs.
+        expected = (
+            d3.num_z_stabs
+            + (rounds - 1) * (d3.num_x_stabs + d3.num_z_stabs)
+            + d3.num_z_stabs
+        )
+        assert exp.circuit.num_detectors == expected
+        assert len(exp.detector_labels) == expected
+
+    def test_observable_count_matches_k(self):
+        code = load_benchmark_code("lp39")
+        exp = build_memory_experiment(code, coloration_schedule(code), rounds=2)
+        assert exp.circuit.num_observables == code.k
+
+    def test_cnot_count_is_rounds_times_tanner_edges(self, d3):
+        rounds = 2
+        exp = build_memory_experiment(d3, nz_schedule(d3), rounds=rounds)
+        edges = int(d3.hx.sum() + d3.hz.sum())
+        assert exp.circuit.count_gate("CNOT") == rounds * edges
+
+    def test_rejects_invalid_schedule(self, d3):
+        bad = nz_schedule(d3)
+        overlap = np.argwhere(d3.hx.astype(int) @ d3.hz.T.astype(int))[0]
+        xs, zs = int(overlap[0]), int(overlap[1])
+        q = int(np.nonzero(d3.hx[xs] & d3.hz[zs])[0][0])
+        bad.swap_relative_order(q, ("x", xs), ("z", zs))
+        with pytest.raises(ValueError):
+            build_memory_experiment(d3, bad, rounds=1)
+
+    def test_rejects_bad_basis_and_rounds(self, d3):
+        with pytest.raises(ValueError):
+            build_memory_experiment(d3, nz_schedule(d3), rounds=1, basis="y")
+        with pytest.raises(ValueError):
+            build_memory_experiment(d3, nz_schedule(d3), rounds=0)
+
+    def test_detector_labels_stable_across_schedules(self, d3):
+        a = build_memory_experiment(d3, nz_schedule(d3), rounds=2)
+        b = build_memory_experiment(d3, poor_schedule(d3), rounds=2)
+        assert a.detector_labels == b.detector_labels
+
+
+class TestDeterminism:
+    """Noiseless detectors must always be zero — the §5.4 validity oracle."""
+
+    @pytest.mark.parametrize("basis", ["z", "x"])
+    def test_surface_nz(self, d3, basis):
+        exp = build_memory_experiment(d3, nz_schedule(d3), rounds=2, basis=basis)
+        assert verify_deterministic_detectors(exp.circuit)
+
+    @pytest.mark.parametrize("basis", ["z", "x"])
+    def test_surface_coloration(self, d3, basis):
+        exp = build_memory_experiment(
+            d3, coloration_schedule(d3), rounds=2, basis=basis
+        )
+        assert verify_deterministic_detectors(exp.circuit)
+
+    @pytest.mark.parametrize("name", ["lp39", "rqt60"])
+    def test_ldpc_codes(self, name):
+        code = load_benchmark_code(name)
+        exp = build_memory_experiment(code, coloration_schedule(code), rounds=2)
+        assert verify_deterministic_detectors(exp.circuit, trials=2)
+
+    def test_steane(self):
+        code = steane_code()
+        exp = build_memory_experiment(code, coloration_schedule(code), rounds=2)
+        assert verify_deterministic_detectors(exp.circuit)
+
+    def test_random_colorations_remain_deterministic(self, d3):
+        for seed in range(3):
+            sched = coloration_schedule(d3, np.random.default_rng(seed))
+            exp = build_memory_experiment(d3, sched, rounds=2)
+            assert verify_deterministic_detectors(exp.circuit, trials=2)
+
+    def test_broken_commutation_breaks_detectors(self, d3):
+        """A single X/Z swap (invalid circuit) must show up as random
+        detectors — proving the oracle actually detects the failure mode."""
+        from repro.circuits.builder import build_memory_experiment as build
+
+        bad = nz_schedule(d3)
+        overlap = np.argwhere(d3.hx.astype(int) @ d3.hz.T.astype(int))[0]
+        xs, zs = int(overlap[0]), int(overlap[1])
+        q = int(np.nonzero(d3.hx[xs] & d3.hz[zs])[0][0])
+        bad.swap_relative_order(q, ("x", xs), ("z", zs))
+        assert not bad.is_valid()
+        # Bypass the builder's validity gate to test the oracle itself.
+        bad_check = lambda: True
+        orig = type(bad).is_valid
+        try:
+            type(bad).is_valid = lambda self: True
+            exp = build(d3, bad, rounds=2, basis="z")
+        finally:
+            type(bad).is_valid = orig
+        assert not verify_deterministic_detectors(exp.circuit, trials=4)

@@ -1,0 +1,66 @@
+"""Tests for circuit text serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, build_memory_experiment, nz_schedule
+from repro.circuits.text import circuit_from_text, circuit_to_text
+from repro.codes import rotated_surface_code
+from repro.noise import NoiseModel
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        c = Circuit()
+        c.append("R", [0, 1])
+        c.tick()
+        c.append("H", [0])
+        c.append("CNOT", [0, 1])
+        c.append("DEPOLARIZE2", [0, 1], args=[0.001])
+        c.append("M", [0, 1])
+        c.append("DETECTOR", [0])
+        c.append("OBSERVABLE_INCLUDE", [1], args=[0])
+        parsed = circuit_from_text(circuit_to_text(c))
+        assert parsed == c
+
+    def test_full_memory_circuit_roundtrip(self):
+        code = rotated_surface_code(3)
+        exp = build_memory_experiment(code, nz_schedule(code), rounds=2)
+        noisy = NoiseModel(p=1e-3).apply(exp.circuit)
+        parsed = circuit_from_text(circuit_to_text(noisy))
+        assert parsed == noisy
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a comment
+        R 0 1
+
+        M 0  # trailing comment
+        """
+        c = circuit_from_text(text)
+        assert c.count_gate("R") == 2
+        assert c.num_measurements == 1
+
+
+class TestParserErrors:
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError, match="unknown gate"):
+            circuit_from_text("FROBNICATE 0")
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError, match="bad target"):
+            circuit_from_text("M zero")
+
+    def test_malformed_args(self):
+        with pytest.raises(ValueError, match="malformed"):
+            circuit_from_text("DEPOLARIZE1(0.1 0")
+
+    @given(st.text(alphabet="MRX 01()#.,\n", max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_parser_never_crashes_unexpectedly(self, text):
+        """Fuzz: any input either parses or raises ValueError."""
+        try:
+            circuit_from_text(text)
+        except ValueError:
+            pass

@@ -1,0 +1,58 @@
+"""Tests for the command-line interfaces."""
+
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+from repro.experiments.runner import main as runner_main
+
+
+class TestCli:
+    def test_codes_listing(self, capsys):
+        assert cli_main(["codes"]) == 0
+        out = capsys.readouterr().out
+        assert "surface_d3" in out and "lp39" in out
+
+    def test_evaluate_runs(self, capsys):
+        assert cli_main([
+            "evaluate", "surface_d3", "--shots", "400", "--samples", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "LER" in out
+
+    def test_optimize_runs(self, capsys):
+        assert cli_main([
+            "optimize", "surface_d3",
+            "--iterations", "1", "--samples", "6", "--shots", "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out or "->" in out
+
+    def test_unknown_command_fails(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestRunnerCli:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            runner_main(["not-an-experiment"])
+
+    def test_table1_runs(self, capsys):
+        assert runner_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+
+class TestScheduleOutput:
+    def test_optimize_writes_schedule(self, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        assert cli_main([
+            "optimize", "surface_d3",
+            "--iterations", "1", "--samples", "5", "--shots", "200",
+            "--output", str(out),
+        ]) == 0
+        from repro.circuits import schedule_from_json
+        from repro.codes import rotated_surface_code
+
+        schedule = schedule_from_json(out.read_text(), rotated_surface_code(3))
+        assert schedule.is_valid()

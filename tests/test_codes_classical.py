@@ -1,0 +1,91 @@
+"""Tests for classical binary codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    hamming_code,
+    parity_code,
+    random_regular_code,
+    repetition_code,
+)
+from repro.codes.classical import ClassicalCode
+
+
+class TestRepetition:
+    def test_parameters(self):
+        for n in (2, 3, 5):
+            code = repetition_code(n)
+            assert code.n == n
+            assert code.k == 1
+            assert code.distance() == n
+
+    def test_codewords(self):
+        code = repetition_code(4)
+        assert code.contains(np.zeros(4, dtype=np.uint8))
+        assert code.contains(np.ones(4, dtype=np.uint8))
+        assert not code.contains(np.array([1, 0, 0, 0], dtype=np.uint8))
+
+    def test_rejects_n1(self):
+        with pytest.raises(ValueError):
+            repetition_code(1)
+
+    def test_dual_of_rep2_is_itself(self):
+        rep2 = repetition_code(2)
+        dual = rep2.dual()
+        assert dual.k == 1
+        assert dual.contains(np.array([1, 1], dtype=np.uint8))
+
+
+class TestHamming:
+    def test_parameters(self):
+        code = hamming_code()
+        assert (code.n, code.k, code.distance()) == (7, 4, 3)
+
+    def test_self_orthogonal_dual_containment(self):
+        # Hamming's dual (the simplex code) is contained in Hamming — the
+        # property that makes the Steane code work.
+        code = hamming_code()
+        h = code.check_matrix.astype(int)
+        assert not (h @ h.T % 2).any()
+
+
+class TestParity:
+    def test_parameters(self):
+        code = parity_code(5)
+        assert (code.n, code.k, code.distance()) == (5, 4, 2)
+
+    def test_dual_is_repetition(self):
+        dual = parity_code(3).dual()
+        assert dual.k == 1
+        assert dual.contains(np.ones(3, dtype=np.uint8))
+
+
+class TestRandomRegular:
+    def test_row_weights(self):
+        rng = np.random.default_rng(0)
+        code = random_regular_code(12, 6, 4, rng)
+        assert all(int(r.sum()) == 4 for r in code.check_matrix)
+
+    def test_row_weight_too_large(self):
+        with pytest.raises(ValueError):
+            random_regular_code(3, 2, 4, np.random.default_rng(0))
+
+
+class TestClassicalCodeGeneric:
+    @given(st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_rank_nullity(self, n):
+        code = repetition_code(n)
+        gen = code.generator_matrix
+        assert gen.shape == (1, n)
+        assert not (code.check_matrix.astype(int) @ gen.T % 2).any()
+
+    def test_rejects_1d_matrix(self):
+        with pytest.raises(ValueError):
+            ClassicalCode(np.array([1, 0, 1], dtype=np.uint8))
+
+    def test_repr(self):
+        assert "rep3" in repr(repetition_code(3))

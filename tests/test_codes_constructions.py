@@ -1,0 +1,167 @@
+"""Tests for groups, lifted products, quantum Tanner codes, and Table 1."""
+
+import numpy as np
+import pytest
+
+from repro import gf2
+from repro.codes import (
+    EXPECTED_PARAMETERS,
+    cyclic_group,
+    dihedral_group,
+    estimate_distance,
+    hypergraph_product,
+    lifted_product,
+    load_benchmark_code,
+    parity_code,
+    quantum_tanner_code,
+    repetition_code,
+    toric_like_code,
+)
+from repro.codes.groups import RingMatrix
+
+
+class TestGroups:
+    def test_cyclic_structure(self):
+        g = cyclic_group(5)
+        assert g.order == 5
+        assert g.identity == 0
+        assert g.mul(2, 4) == 1
+        assert g.inv(2) == 3
+        assert g.is_abelian()
+
+    def test_dihedral_structure(self):
+        g = dihedral_group(3)
+        assert g.order == 6
+        assert not g.is_abelian()
+        e = g.identity
+        for a in range(g.order):
+            assert g.mul(a, g.inv(a)) == e
+
+    def test_dihedral_relation(self):
+        # s r = r^{-1} s in D_n
+        g = dihedral_group(4)
+        r, s = 2, 1  # r^1 s^0 encoded as 2*1+0; s = 2*0+1
+        sr = g.mul(s, r)
+        r_inv_s = g.mul(g.inv(r), s)
+        assert sr == r_inv_s
+
+    def test_left_right_regular_commute(self):
+        for g in (cyclic_group(4), dihedral_group(3)):
+            for a in range(g.order):
+                for b in range(g.order):
+                    left = g.left_regular(a).astype(int)
+                    right = g.right_regular(b).astype(int)
+                    assert np.array_equal(left @ right % 2, right @ left % 2)
+
+    def test_regular_rep_is_homomorphism(self):
+        g = dihedral_group(3)
+        for a in range(g.order):
+            for b in range(g.order):
+                prod = g.left_regular(g.mul(a, b)).astype(int)
+                composed = g.left_regular(a).astype(int) @ g.left_regular(b).astype(int) % 2
+                assert np.array_equal(prod, composed)
+
+
+class TestRingMatrix:
+    def test_lift_identity(self):
+        g = cyclic_group(3)
+        eye = RingMatrix.identity(g, 2)
+        assert np.array_equal(eye.lift("left"), np.eye(6, dtype=np.uint8))
+        assert np.array_equal(eye.lift("right"), np.eye(6, dtype=np.uint8))
+
+    def test_conjugate_transpose_involution(self):
+        g = dihedral_group(3)
+        m = RingMatrix.from_monomials(g, [[1, 3], [None, 2]])
+        twice = m.conjugate_transpose().conjugate_transpose()
+        assert twice.entries == m.entries
+
+    def test_lift_rejects_bad_side(self):
+        g = cyclic_group(2)
+        m = RingMatrix.identity(g, 1)
+        with pytest.raises(ValueError):
+            m.lift("middle")
+
+
+class TestHypergraphProduct:
+    def test_toric_like_parameters(self):
+        code = toric_like_code(3)
+        assert code.n == 3 * 3 + 2 * 2
+        assert code.k == 1
+
+    def test_hgp_commutes_by_construction(self):
+        c1, c2 = repetition_code(3), parity_code(4)
+        code = hypergraph_product(c1, c2)
+        assert not gf2.matmul(code.hx, code.hz.T).any()
+
+
+class TestLiftedProduct:
+    def test_lp_over_nonabelian_group_commutes(self):
+        g = dihedral_group(3)
+        rng = np.random.default_rng(0)
+        a = RingMatrix.from_monomials(
+            g, [[int(rng.integers(0, 6)) for _ in range(3)] for _ in range(2)]
+        )
+        b = RingMatrix.from_monomials(
+            g, [[int(rng.integers(0, 6)) for _ in range(2)] for _ in range(2)]
+        )
+        code = lifted_product(a, b)  # CSSCode validates hx @ hz^T = 0
+        assert code.n == g.order * (3 * 2 + 2 * 2)
+
+    def test_lp_reduces_to_hgp_for_trivial_group(self):
+        # Over the trivial group, LP(A, B) with B = H2^T coincides with the
+        # hypergraph product HGP(H1, H2) (hx = [H1 (x) I | I (x) H2^T]).
+        g = cyclic_group(1)
+        h = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        spec = [[0 if v else None for v in row] for row in h]
+        spec_t = [[0 if v else None for v in row] for row in h.T]
+        a = RingMatrix.from_monomials(g, spec)
+        b = RingMatrix.from_monomials(g, spec_t)
+        code = lifted_product(a, b)
+        ref = hypergraph_product(repetition_code(3), repetition_code(3))
+        assert code.n == ref.n
+        assert code.k == ref.k
+
+
+class TestQuantumTanner:
+    def test_manual_construction_commutes(self):
+        g = cyclic_group(7)
+        rep2 = repetition_code(2)
+        code = quantum_tanner_code(g, [1, 2], [3, 4], rep2, rep2)
+        assert code.n == 7 * 4
+
+    def test_rejects_duplicate_generators(self):
+        g = cyclic_group(7)
+        rep2 = repetition_code(2)
+        with pytest.raises(ValueError):
+            quantum_tanner_code(g, [1, 1], [3, 4], rep2, rep2)
+
+    def test_rejects_local_code_length_mismatch(self):
+        g = cyclic_group(7)
+        with pytest.raises(ValueError):
+            quantum_tanner_code(g, [1, 2], [3, 4], repetition_code(3), repetition_code(2))
+
+
+class TestBenchmarkSuite:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_PARAMETERS))
+    def test_n_and_k_match_table1(self, name):
+        code = load_benchmark_code(name)
+        n, k, d = EXPECTED_PARAMETERS[name]
+        assert (code.n, code.k) == (n, k)
+        assert code.distance == d
+
+    @pytest.mark.parametrize("name", ["lp39", "rqt60", "rqt54"])
+    def test_distance_estimates_match_table1(self, name):
+        code = load_benchmark_code(name)
+        est = estimate_distance(code, iterations=80, rng=np.random.default_rng(0))
+        assert est == EXPECTED_PARAMETERS[name][2]
+
+    def test_stabilizer_weights_match_paper(self):
+        assert set(load_benchmark_code("rqt60").stabilizer_weights()["x"]) == {4}
+        assert set(load_benchmark_code("rqt54").stabilizer_weights()["x"]) == {6}
+        lp = load_benchmark_code("lp39")
+        weights = set(lp.stabilizer_weights()["x"]) | set(lp.stabilizer_weights()["z"])
+        assert weights == {4, 5, 6}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_benchmark_code("nope")

@@ -1,0 +1,125 @@
+"""Tests for the experiment modules (fast configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    fig06_schedules,
+    fig13_random_starts,
+    fig14_scaling,
+    fig15_idle,
+    fig16_zne,
+    table1_codes,
+    table2_models,
+)
+from repro.experiments.fig12_benchmarks import improvement_factors
+from repro.experiments.runner import ALIASES, EXPERIMENTS
+
+
+class TestExperimentResult:
+    def test_add_and_columns(self):
+        r = ExperimentResult("t")
+        r.add(a=1, b=2.5)
+        r.add(a=2, c="x")
+        assert r.columns() == ["a", "b", "c"]
+
+    def test_format_table(self):
+        r = ExperimentResult("demo", notes="note")
+        r.add(code="x", rate=1.234e-5)
+        text = r.format_table()
+        assert "demo" in text and "note" in text
+        assert "1.234e-05" in text
+
+    def test_empty_table(self):
+        assert "(no rows)" in ExperimentResult("empty").format_table()
+
+
+class TestFastExperiments:
+    def test_table1(self):
+        result = table1_codes.run(distance_iterations=40)
+        assert len(result.rows) == 8
+        assert all(r["match"] for r in result.rows)
+
+    def test_fig06_small(self):
+        result = fig06_schedules.run(p_values=(5e-3,), shots=2000)
+        rates = {r["schedule"]: r["logical_error_rate"] for r in result.rows}
+        assert rates["poor"] > rates["good (N-Z)"]
+
+    def test_table2_sizes_without_solving(self):
+        result = table2_models.run(
+            codes=("lp39",), global_timeout=0.5, solve_subgraph=False
+        )
+        forms = {r["formulation"]: r for r in result.rows}
+        assert forms["subgraph"]["variables"] * 10 < forms["global"]["variables"]
+
+    def test_fig14_rows(self):
+        result = fig14_scaling.run(
+            codes=("surface_d3",), samples_per_code=8, use_maxsat=False
+        )
+        for row in result.rows:
+            assert row["num_subgraphs"] >= 1
+            assert row["mean_solve_s"] >= 0
+
+    def test_fig15_tiny(self):
+        result = fig15_idle.run(
+            idle_strengths=(0.0, 5e-3), shots=1500
+        )
+        circuits = {r["circuit"] for r in result.rows}
+        assert "good (depth 4)" in circuits
+
+    def test_fig16_amplification(self):
+        result = fig16_zne.run_amplification(d=9, lambdas=(2.0, 4.0))
+        assert result.rows[0]["max_amplification"] < result.rows[1]["max_amplification"]
+
+    def test_fig16_bias_small(self):
+        result = fig16_zne.run_bias(trials=10)
+        assert len(result.rows) == 3
+
+    def test_fig13_single_start(self):
+        result = fig13_random_starts.run(
+            num_starts=1, shots=1500, iterations=1, samples=8
+        )
+        assert len(result.rows) == 1
+
+    def test_improvement_factors_helper(self):
+        r = ExperimentResult("f")
+        r.add(code="c", circuit="coloration", p=1e-3, logical_error_rate=4e-3)
+        r.add(code="c", circuit="prophunt", p=1e-3, logical_error_rate=1e-3)
+        factors = improvement_factors(r)
+        assert factors[("c", 1e-3)] == pytest.approx(4.0)
+
+
+class TestRunnerRegistry:
+    def test_every_figure_has_an_entry(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig6",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "table1",
+            "table2",
+        }
+
+    def test_aliases_resolve(self):
+        for alias, target in ALIASES.items():
+            assert target in EXPERIMENTS
+
+
+class TestCsvExport:
+    def test_to_csv(self):
+        r = ExperimentResult("t")
+        r.add(a=1, b=2.5)
+        r.add(a=2, b=3.0)
+        csv = r.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1].startswith("1,")
+
+    def test_to_csv_quotes_commas(self):
+        r = ExperimentResult("t")
+        r.add(label="a,b")
+        assert '"a,b"' in r.to_csv()

@@ -1,0 +1,59 @@
+"""Tests for the extension features: OSD-CS order, parallel sampling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import coloration_schedule, poor_schedule
+from repro.codes import gb18_code, load_benchmark_code, rotated_surface_code
+from repro.core import DecodingGraph, PropHunt, PropHuntConfig
+from repro.core.parallel import sample_and_solve
+from repro.decoders import BpOsdDecoder
+from repro.decoders.metrics import dem_for
+from repro.noise import NoiseModel
+from repro.sim import DemSampler
+
+
+@pytest.fixture(scope="module")
+def gb_dem():
+    code = gb18_code()
+    return dem_for(code, coloration_schedule(code), NoiseModel(p=2e-3), rounds=2)
+
+
+class TestOsdOrders:
+    def test_osd_cs_at_least_as_good(self, gb_dem):
+        sampler = DemSampler(gb_dem)
+        batch = sampler.sample(1200, np.random.default_rng(0))
+        base = BpOsdDecoder(gb_dem, osd_order=0)
+        swept = BpOsdDecoder(gb_dem, osd_order=8)
+        f0 = base.logical_failures(batch.detectors, batch.observables).mean()
+        f1 = swept.logical_failures(batch.detectors, batch.observables).mean()
+        # CS explores a superset of candidates; allow tiny statistical slack.
+        assert f1 <= f0 + 0.01
+
+    def test_osd_cs_solutions_satisfy_syndrome(self, gb_dem):
+        dec = BpOsdDecoder(gb_dem, osd_order=6)
+        sampler = DemSampler(gb_dem)
+        batch = sampler.sample(300, np.random.default_rng(1))
+        out = dec.decode_batch(batch.detectors)
+        assert out.shape == (300, gb_dem.num_observables)
+
+
+class TestParallelSampling:
+    def test_matches_sequential(self):
+        code = rotated_surface_code(3)
+        dem = dem_for(code, poor_schedule(code), NoiseModel(p=1e-3), rounds=3)
+        graph = DecodingGraph(dem)
+        seq = sample_and_solve(graph, 12, base_seed=7, workers=1)
+        par = sample_and_solve(graph, 12, base_seed=7, workers=2)
+        assert len(seq) == len(par)
+        seq_weights = sorted(s.weight for _, s in seq)
+        par_weights = sorted(s.weight for _, s in par)
+        assert seq_weights == par_weights
+
+    def test_optimizer_with_workers(self):
+        code = rotated_surface_code(3)
+        cfg = PropHuntConfig(
+            iterations=1, samples_per_iteration=12, seed=3, workers=2
+        )
+        result = PropHunt(code, cfg).optimize(poor_schedule(code))
+        assert result.final_schedule.is_valid()

@@ -1,0 +1,150 @@
+"""Tests for the flag-qubit extension and two-block (GB) codes."""
+
+import numpy as np
+import pytest
+
+from repro import gf2
+from repro.analysis.deff import estimate_effective_distance
+from repro.circuits import (
+    build_flagged_memory_experiment,
+    build_memory_experiment,
+    coloration_schedule,
+    nz_schedule,
+    poor_schedule,
+)
+from repro.circuits.flags import _flag_plan
+from repro.codes import (
+    cyclic_group,
+    dihedral_group,
+    gb18_code,
+    gb24_code,
+    gb_code_cyclic,
+    rotated_surface_code,
+    two_block_code,
+)
+from repro.codes.distance import estimate_distance
+from repro.core import DecodingGraph, find_ambiguous_subgraph
+from repro.core.minweight import solve_min_weight_logical
+from repro.noise import NoiseModel
+from repro.sim import extract_dem, verify_deterministic_detectors
+
+
+class TestTwoBlockCodes:
+    def test_gb18_parameters(self):
+        code = gb18_code()
+        assert (code.n, code.k, code.distance) == (18, 2, 3)
+        est = estimate_distance(code, iterations=60, rng=np.random.default_rng(0))
+        assert est == 3
+
+    def test_gb24_parameters(self):
+        code = gb24_code()
+        assert (code.n, code.k, code.distance) == (24, 2, 4)
+
+    def test_weight4_stabilizers(self):
+        weights = gb18_code().stabilizer_weights()
+        assert set(weights["x"]) == {4} and set(weights["z"]) == {4}
+
+    def test_commutation_over_nonabelian_group(self):
+        code = two_block_code(dihedral_group(4), [0, 2], [1, 5])
+        assert code.n == 16
+        assert not gf2.matmul(code.hx, code.hz.T).any()
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError):
+            two_block_code(cyclic_group(3), [], [0])
+
+    def test_gb_code_circuit_builds_and_verifies(self):
+        code = gb18_code()
+        sched = coloration_schedule(code)
+        assert sched.is_valid()
+        exp = build_memory_experiment(code, sched, rounds=2)
+        assert verify_deterministic_detectors(exp.circuit, trials=2)
+
+
+class TestFlagPlan:
+    def test_weight2_stabs_get_no_flag(self):
+        code = rotated_surface_code(3)
+        flag_of, _, _ = _flag_plan(code, nz_schedule(code), min_flag_weight=4)
+        for (kind, s) in flag_of:
+            matrix = code.hx if kind == "x" else code.hz
+            assert int(matrix[s].sum()) >= 4
+
+    def test_flag_count_for_d3(self):
+        code = rotated_surface_code(3)
+        flag_of, _, _ = _flag_plan(code, nz_schedule(code), min_flag_weight=4)
+        # d=3 has 2 weight-4 X stabs and 2 weight-4 Z stabs.
+        assert len(flag_of) == 4
+
+    def test_open_before_close(self):
+        code = rotated_surface_code(5)
+        flag_of, opens, closes = _flag_plan(code, nz_schedule(code), 4)
+        open_gap = {}
+        for g, entries in opens.items():
+            for key in entries:
+                open_gap[key] = g
+        for g, entries in closes.items():
+            for key in entries:
+                assert open_gap[key] <= g
+
+
+class TestFlaggedCircuits:
+    @pytest.mark.parametrize("basis", ["z", "x"])
+    def test_detectors_deterministic(self, basis):
+        code = rotated_surface_code(3)
+        exp = build_flagged_memory_experiment(
+            code, poor_schedule(code), rounds=2, basis=basis
+        )
+        assert verify_deterministic_detectors(exp.circuit, trials=3)
+
+    def test_qubit_and_detector_counts(self):
+        code = rotated_surface_code(3)
+        exp = build_flagged_memory_experiment(code, nz_schedule(code), rounds=2)
+        # 9 data + 8 ancilla + 4 flags.
+        assert exp.circuit.num_qubits == 21
+        flag_dets = [
+            label for label in exp.detector_labels if str(label[1]).startswith("f")
+        ]
+        assert len(flag_dets) == 2 * 4  # 4 flags x 2 rounds
+
+    def test_flags_restore_effective_distance(self):
+        """The headline flag result: the poor schedule's weight-2 hooks
+        become detected, pushing min logical weight back to d = 3."""
+        code = rotated_surface_code(3)
+        exp = build_flagged_memory_experiment(
+            code, poor_schedule(code), rounds=3, basis="z"
+        )
+        dem = extract_dem(NoiseModel(p=1e-3).apply(exp.circuit))
+        graph = DecodingGraph(dem)
+        rng = np.random.default_rng(0)
+        weights = []
+        for _ in range(40):
+            sub = find_ambiguous_subgraph(graph, rng)
+            if sub is None:
+                continue
+            sol = solve_min_weight_logical(sub, rng)
+            if sol is not None:
+                weights.append(sol.weight)
+        assert weights and min(weights) == 3
+
+    def test_unflagged_poor_schedule_is_worse(self):
+        """Control for the test above: without flags the same schedule
+        has weight-2 logicals."""
+        code = rotated_surface_code(3)
+        est = estimate_effective_distance(
+            code, poor_schedule(code), samples=30, rng=np.random.default_rng(0)
+        )
+        assert est.deff == 2
+
+    def test_flagged_circuit_is_deeper(self):
+        code = rotated_surface_code(3)
+        plain = build_memory_experiment(code, nz_schedule(code), rounds=2)
+        flagged = build_flagged_memory_experiment(code, nz_schedule(code), rounds=2)
+        assert flagged.circuit.num_layers() > plain.circuit.num_layers()
+        assert flagged.circuit.count_gate("CNOT") > plain.circuit.count_gate("CNOT")
+
+    def test_invalid_inputs(self):
+        code = rotated_surface_code(3)
+        with pytest.raises(ValueError):
+            build_flagged_memory_experiment(code, nz_schedule(code), rounds=0)
+        with pytest.raises(ValueError):
+            build_flagged_memory_experiment(code, nz_schedule(code), rounds=1, basis="y")

@@ -1,0 +1,110 @@
+"""Tests for the dense GF(2) helper functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import gf2
+
+
+@st.composite
+def matrices(draw, max_rows=10, max_cols=24):
+    m = draw(st.integers(1, max_rows))
+    n = draw(st.integers(1, max_cols))
+    bits = draw(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=n, max_size=n),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return np.array(bits, dtype=np.uint8)
+
+
+class TestRankRref:
+    def test_rank_zero_matrix(self):
+        assert gf2.rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+    def test_rank_empty(self):
+        assert gf2.rank(np.zeros((0, 0), dtype=np.uint8)) == 0
+
+    @given(matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_rref_preserves_rowspace(self, a):
+        reduced, pivots = gf2.rref(a)
+        assert gf2.rank(np.vstack([a, reduced])) == gf2.rank(a) == len(pivots)
+
+    def test_row_basis(self):
+        a = np.array([[1, 1, 0], [1, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        basis = gf2.row_basis(a)
+        assert basis.shape[0] == 2
+        assert gf2.in_rowspace(basis, a)
+
+
+class TestMatmulSolve:
+    def test_matmul_mod2(self):
+        a = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        b = np.array([[1, 0], [1, 1]], dtype=np.uint8)
+        assert np.array_equal(gf2.matmul(a, b), np.array([[0, 1], [1, 1]]))
+
+    @given(matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_solve_roundtrip(self, a):
+        rng = np.random.default_rng(0)
+        x_true = rng.integers(0, 2, a.shape[1], dtype=np.uint8)
+        b = a.astype(int) @ x_true % 2
+        x = gf2.solve(a, b)
+        assert x is not None
+        assert np.array_equal(a.astype(int) @ x % 2, b)
+
+    @given(matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_nullspace_is_kernel(self, a):
+        ns = gf2.nullspace(a)
+        assert ns.shape[0] == a.shape[1] - gf2.rank(a)
+        if ns.size:
+            assert not (a.astype(int) @ ns.T % 2).any()
+
+
+class TestRowspaceMembership:
+    def test_in_rowspace_true_false(self):
+        h = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        assert gf2.in_rowspace(h, np.array([[1, 0, 1]], dtype=np.uint8))
+        assert not gf2.in_rowspace(h, np.array([[1, 0, 0]], dtype=np.uint8))
+
+    def test_empty_vectors_trivially_contained(self):
+        h = np.array([[1, 0]], dtype=np.uint8)
+        assert gf2.in_rowspace(h, np.zeros((0, 2), dtype=np.uint8))
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gf2.in_rowspace(
+                np.ones((1, 3), dtype=np.uint8), np.ones((1, 4), dtype=np.uint8)
+            )
+
+    def test_ambiguity_semantics(self):
+        # A 1-bit repetition-style toy: two errors hit the same syndrome but
+        # differ on the logical — L outside rowspace(H) flags ambiguity.
+        h = np.array([[1, 1]], dtype=np.uint8)
+        l_ambiguous = np.array([[1, 0]], dtype=np.uint8)
+        l_safe = np.array([[1, 1]], dtype=np.uint8)
+        assert not gf2.in_rowspace(h, l_ambiguous)
+        assert gf2.in_rowspace(h, l_safe)
+
+
+class TestMinWeight:
+    def test_min_weight_codeword(self):
+        basis = np.array([[1, 1, 0, 0], [0, 0, 1, 1], [1, 1, 1, 1]], dtype=np.uint8)
+        v = gf2.min_weight_in_affine(basis)
+        assert v.sum() == 2
+
+    def test_min_weight_affine(self):
+        basis = np.array([[1, 1, 0]], dtype=np.uint8)
+        offset = np.array([1, 1, 1], dtype=np.uint8)
+        v = gf2.min_weight_in_affine(basis, offset)
+        assert v.sum() == 1
+
+    def test_limit_enforced(self):
+        with pytest.raises(ValueError):
+            gf2.min_weight_in_affine(np.eye(25, dtype=np.uint8))

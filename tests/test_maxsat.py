@@ -1,0 +1,157 @@
+"""Tests for the WCNF models and the branch-and-bound MaxSAT solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maxsat import MaxSatSolver, WCNF
+
+
+def brute_force_optimum(wcnf: WCNF) -> float | None:
+    """Reference: try all assignments (tiny instances only)."""
+    n = wcnf.num_vars
+    best = None
+    for mask in range(1 << n):
+        assign = {v: bool((mask >> (v - 1)) & 1) for v in range(1, n + 1)}
+        ok = all(
+            any(((lit > 0) == assign[abs(lit)]) for lit in clause)
+            for clause in wcnf.hard
+        )
+        if not ok:
+            continue
+        cost = sum(w for lit, w in wcnf.soft if (lit > 0) != assign[abs(lit)])
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+class TestWCNF:
+    def test_variable_allocation(self):
+        w = WCNF()
+        a = w.new_var("a")
+        b = w.new_var("b")
+        assert (a, b) == (1, 2)
+        assert w.names == {"a": 1, "b": 2}
+
+    def test_duplicate_name_rejected(self):
+        w = WCNF()
+        w.new_var("a")
+        with pytest.raises(ValueError):
+            w.new_var("a")
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            WCNF().add_hard()
+
+    def test_xor2_truth_table(self):
+        for va in (False, True):
+            for vb in (False, True):
+                w = WCNF()
+                a, b, out = w.new_var(), w.new_var(), w.new_var()
+                w.add_xor2_equals(out, a, b)
+                w.add_hard(a if va else -a)
+                w.add_hard(b if vb else -b)
+                w.add_hard(out if (va ^ vb) else -out)
+                result = MaxSatSolver(w).solve()
+                assert result.status == "optimal"
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=7))
+    @settings(max_examples=30, deadline=None)
+    def test_xor_tree_matches_parity(self, values):
+        w = WCNF()
+        inputs = [w.new_var() for _ in values]
+        out = w.new_var()
+        w.add_xor_tree(out, inputs)
+        for var, val in zip(inputs, values):
+            w.add_hard(var if val else -var)
+        parity = sum(values) % 2 == 1
+        w.add_hard(out if parity else -out)
+        assert MaxSatSolver(w).solve().status == "optimal"
+        # And the flipped output must be UNSAT.
+        w2 = WCNF()
+        inputs2 = [w2.new_var() for _ in values]
+        out2 = w2.new_var()
+        w2.add_xor_tree(out2, inputs2)
+        for var, val in zip(inputs2, values):
+            w2.add_hard(var if val else -var)
+        w2.add_hard(-out2 if parity else out2)
+        assert MaxSatSolver(w2).solve().status == "unsat"
+
+    def test_stats(self):
+        w = WCNF()
+        a = w.new_var()
+        w.add_soft(-a)
+        w.add_hard(a)
+        s = w.stats()
+        assert s == {"variables": 1, "hard_clauses": 1, "soft_clauses": 1}
+
+
+class TestSolver:
+    def test_simple_optimum(self):
+        w = WCNF()
+        a, b = w.new_var(), w.new_var()
+        w.add_hard(a, b)  # at least one true
+        w.add_soft(-a)
+        w.add_soft(-b)
+        result = MaxSatSolver(w).solve()
+        assert result.status == "optimal"
+        assert result.cost == 1.0
+
+    def test_unsat(self):
+        w = WCNF()
+        a = w.new_var()
+        w.add_hard(a)
+        w.add_hard(-a)
+        assert MaxSatSolver(w).solve().status == "unsat"
+
+    def test_weighted_softs(self):
+        w = WCNF()
+        a, b = w.new_var(), w.new_var()
+        w.add_hard(a, b)
+        w.add_soft(-a, 5.0)
+        w.add_soft(-b, 1.0)
+        result = MaxSatSolver(w).solve()
+        assert result.cost == 1.0
+        assert result.assignment[b] and not result.assignment[a]
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances_match_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        w = WCNF()
+        n = int(rng.integers(2, 7))
+        variables = [w.new_var() for _ in range(n)]
+        for _ in range(int(rng.integers(1, 8))):
+            size = min(int(rng.integers(1, 4)), n)
+            lits = [
+                int(v) * (1 if rng.random() < 0.5 else -1)
+                for v in rng.choice(variables, size=size, replace=False)
+            ]
+            w.add_hard(*lits)
+        for v in variables:
+            if rng.random() < 0.7:
+                w.add_soft(-v, 1.0)
+        result = MaxSatSolver(w).solve()
+        reference = brute_force_optimum(w)
+        if reference is None:
+            assert result.status == "unsat"
+        else:
+            assert result.status == "optimal"
+            assert result.cost == pytest.approx(reference)
+
+    def test_timeout_reports(self):
+        # A dense instance with an absurdly small timeout.
+        rng = np.random.default_rng(0)
+        w = WCNF()
+        variables = [w.new_var() for _ in range(40)]
+        for _ in range(120):
+            lits = [
+                int(v) * (1 if rng.random() < 0.5 else -1)
+                for v in rng.choice(variables, size=3, replace=False)
+            ]
+            w.add_hard(*lits)
+        for v in variables:
+            w.add_soft(-v)
+        result = MaxSatSolver(w, timeout=1e-4).solve()
+        assert result.status in ("timeout", "optimal", "unsat")

@@ -1,0 +1,141 @@
+"""Additional coverage: edge cases across the stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, build_memory_experiment, coloration_schedule, nz_schedule
+from repro.codes import (
+    cyclic_group,
+    hypergraph_product,
+    random_regular_code,
+    repetition_code,
+    rotated_surface_code,
+)
+from repro.codes.groups import RingMatrix
+from repro.core.decoding_graph import Subgraph
+from repro.core.minweight import solve_min_weight_logical
+from repro.decoders import MatchingDecoder, detector_subset_for_basis
+from repro.decoders.metrics import dem_for
+from repro.noise import NoiseModel
+from repro.sim import DemSampler, extract_dem, verify_deterministic_detectors
+
+
+class TestRingMatrixEdges:
+    def test_kron_rejects_general_products(self):
+        g = cyclic_group(3)
+        m = RingMatrix.from_monomials(g, [[1]])
+        other = RingMatrix.from_monomials(g, [[2]])
+        with pytest.raises(ValueError, match="identity-patterned"):
+            m.kron(other)
+
+    def test_lift_left_is_circulant_for_cyclic(self):
+        g = cyclic_group(4)
+        m = RingMatrix.from_monomials(g, [[1]])  # the generator x
+        lifted = m.lift("left")
+        # L(x)[x*h, h] = 1: a cyclic shift matrix.
+        expected = np.roll(np.eye(4, dtype=np.uint8), 1, axis=0)
+        assert np.array_equal(lifted, expected)
+
+    def test_ragged_matrix_rejected(self):
+        g = cyclic_group(2)
+        with pytest.raises(ValueError, match="ragged"):
+            RingMatrix(g, [[frozenset()], [frozenset(), frozenset()]])
+
+
+class TestSubgraphSolverEdges:
+    def test_weight1_undetectable_logical(self):
+        """A single undetected logical error column short-circuits."""
+        h = np.zeros((1, 2), dtype=np.uint8)
+        h[0, 1] = 1
+        l_mat = np.array([[1, 0]], dtype=np.uint8)
+        sub = Subgraph(detectors=[0], errors=[0, 1], h=h, l=l_mat)
+        sol = solve_min_weight_logical(sub, method="graphlike")
+        assert sol is not None and sol.weight == 1
+
+    def test_no_logical_errors_returns_none(self):
+        h = np.array([[1, 1]], dtype=np.uint8)
+        l_mat = np.zeros((1, 2), dtype=np.uint8)
+        sub = Subgraph(detectors=[0], errors=[0, 1], h=h, l=l_mat)
+        assert solve_min_weight_logical(sub, method="graphlike") is None
+
+    def test_two_boundary_edges_form_logical(self):
+        """Two single-detector errors that differ on L: classic weight-2
+        ambiguity through the boundary."""
+        h = np.array([[1, 1]], dtype=np.uint8)
+        l_mat = np.array([[1, 0]], dtype=np.uint8)
+        sub = Subgraph(detectors=[0], errors=[0, 1], h=h, l=l_mat)
+        sol = solve_min_weight_logical(sub, method="graphlike")
+        assert sol is not None and sol.weight == 2
+
+
+class TestMatchingEdges:
+    def test_odd_defects_use_boundary(self):
+        code = rotated_surface_code(3)
+        dem = dem_for(code, nz_schedule(code), NoiseModel(p=2e-3), rounds=2)
+        subset = detector_subset_for_basis(dem, "z")
+        dec = MatchingDecoder(dem, subset)
+        det = np.zeros((1, dem.num_detectors), dtype=np.uint8)
+        det[0, subset[0]] = 1  # a single defect must match to boundary
+        out = dec.decode_batch(det)
+        assert out.shape == (1, 1)
+
+    def test_cache_hits_are_consistent(self):
+        code = rotated_surface_code(3)
+        dem = dem_for(code, nz_schedule(code), NoiseModel(p=2e-3), rounds=2)
+        dec = MatchingDecoder(dem, detector_subset_for_basis(dem, "z"))
+        batch = DemSampler(dem).sample(300, np.random.default_rng(0))
+        a = dec.decode_batch(batch.detectors)
+        b = dec.decode_batch(batch.detectors)
+        assert np.array_equal(a, b)
+
+
+class TestSamplerDeterminism:
+    def test_same_seed_same_samples(self):
+        code = rotated_surface_code(3)
+        dem = dem_for(code, nz_schedule(code), NoiseModel(p=3e-3), rounds=2)
+        s = DemSampler(dem)
+        a = s.sample(500, np.random.default_rng(42))
+        b = s.sample(500, np.random.default_rng(42))
+        assert np.array_equal(a.detectors, b.detectors)
+        assert np.array_equal(a.observables, b.observables)
+
+
+class TestDemForDefaults:
+    def test_rounds_default_to_distance(self):
+        code = rotated_surface_code(3)
+        dem = dem_for(code, nz_schedule(code), NoiseModel(p=1e-3))
+        # 3 rounds of a memory-z experiment: z(4) + 2*(8) + final z(4).
+        assert dem.num_detectors == 4 + 2 * 8 + 4
+
+
+class TestPauliChannelDem:
+    def test_pauli_channel_mechanisms(self):
+        c = Circuit()
+        c.append("R", [0])
+        c.append("PAULI_CHANNEL_1", [0], args=(0.1, 0.0, 0.05))
+        c.append("M", [0])
+        c.append("DETECTOR", [0])
+        dem = extract_dem(c)
+        # Only the X mechanism flips the Z measurement (py=0, Z invisible).
+        assert dem.num_errors == 1
+        assert dem.mechanisms[0].prob == pytest.approx(0.1)
+
+
+class TestRandomHgpCodesEndToEnd:
+    @given(st.integers(0, 30))
+    @settings(max_examples=6, deadline=None)
+    def test_random_hgp_pipeline(self, seed):
+        """Random hypergraph products run the whole pipeline: coloring,
+        building, and noiseless determinism."""
+        rng = np.random.default_rng(seed)
+        c1 = random_regular_code(5, 3, 3, rng)
+        c2 = repetition_code(3)
+        code = hypergraph_product(c1, c2)
+        if code.k == 0:
+            return  # no logical qubits: nothing to protect
+        sched = coloration_schedule(code)
+        assert sched.is_valid()
+        exp = build_memory_experiment(code, sched, rounds=2)
+        assert verify_deterministic_detectors(exp.circuit, trials=2)

@@ -1,0 +1,76 @@
+"""Property-based tests on schedule rewrites (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import coloration_schedule, nz_schedule
+from repro.codes import load_benchmark_code, rotated_surface_code
+
+
+def adjacent_same_type_pairs(schedule, q):
+    """Adjacent same-type stabilizer pairs in qubit q's relative order."""
+    order = schedule.qubit_orders[q]
+    return [
+        (a, b) for a, b in zip(order, order[1:]) if a[0] == b[0]
+    ]
+
+
+class TestRewriteInvariants:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_adjacent_same_type_swaps_preserve_commutation(self, seed):
+        """Swapping *adjacent* same-type stabilizers on a shared qubit
+        never changes any X-before-Z relation, hence never breaks
+        commutation.  (Non-adjacent swaps can hop across an opposite-type
+        stabilizer and flip two relations — which is why §5.3.2 pairs its
+        X/Z swaps.)"""
+        code = rotated_surface_code(3)
+        sched = nz_schedule(code)
+        rng = np.random.default_rng(seed)
+        for _ in range(3):
+            q = int(rng.integers(0, code.n))
+            pairs = adjacent_same_type_pairs(sched, q)
+            if not pairs:
+                continue
+            a, b = pairs[int(rng.integers(0, len(pairs)))]
+            sched.swap_relative_order(q, a, b)
+        assert not sched.commutation_violations()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_reorders_preserve_commutation(self, seed):
+        """Reordering within one stabilizer never changes X-before-Z
+        relations, hence never breaks commutation."""
+        code = rotated_surface_code(3)
+        sched = nz_schedule(code)
+        rng = np.random.default_rng(seed)
+        keys = list(sched.stab_orders)
+        for _ in range(4):
+            key = keys[int(rng.integers(0, len(keys)))]
+            order = sched.stab_orders[key]
+            if len(order) < 2:
+                continue
+            i, j = rng.choice(len(order), size=2, replace=False)
+            sched.reorder(key[0], key[1], move=order[int(i)], before=order[int(j)])
+        assert not sched.commutation_violations()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_layers_always_cover_all_edges_when_schedulable(self, seed):
+        code = load_benchmark_code("lp39")
+        sched = coloration_schedule(code, np.random.default_rng(seed))
+        layers = sched.layers()
+        assert layers is not None
+        assert set(layers) == set(sched.edges())
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_depth_no_less_than_max_stab_weight(self, seed):
+        """Each stabilizer's CNOTs are serialized, so depth >= max weight."""
+        code = load_benchmark_code("rqt60")
+        sched = coloration_schedule(code, np.random.default_rng(seed))
+        max_weight = max(
+            int(code.hx.sum(axis=1).max()), int(code.hz.sum(axis=1).max())
+        )
+        assert sched.cnot_depth() >= max_weight

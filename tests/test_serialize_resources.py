@@ -1,0 +1,79 @@
+"""Tests for schedule serialization and resource estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.resources import (
+    NEUTRAL_ATOM,
+    NEUTRAL_ATOM_MOVEMENT,
+    PROFILES,
+    SUPERCONDUCTING,
+    estimate_resources,
+)
+from repro.circuits import (
+    build_memory_experiment,
+    coloration_schedule,
+    nz_schedule,
+)
+from repro.circuits.serialize import schedule_from_json, schedule_to_json
+from repro.codes import load_benchmark_code, rotated_surface_code
+
+
+class TestScheduleJson:
+    def test_roundtrip_surface(self):
+        code = rotated_surface_code(3)
+        original = nz_schedule(code)
+        restored = schedule_from_json(schedule_to_json(original), code)
+        assert restored.stab_orders == original.stab_orders
+        assert restored.qubit_orders == original.qubit_orders
+        assert restored.cnot_depth() == original.cnot_depth()
+
+    def test_roundtrip_ldpc(self):
+        code = load_benchmark_code("lp39")
+        original = coloration_schedule(code, np.random.default_rng(3))
+        restored = schedule_from_json(schedule_to_json(original), code)
+        assert restored.layers() == original.layers()
+
+    def test_wrong_code_rejected(self):
+        d3 = rotated_surface_code(3)
+        d5 = rotated_surface_code(5)
+        text = schedule_to_json(nz_schedule(d3))
+        with pytest.raises(ValueError, match="n="):
+            schedule_from_json(text, d5)
+
+    def test_wrong_format_rejected(self):
+        code = rotated_surface_code(3)
+        with pytest.raises(ValueError, match="not a prophunt"):
+            schedule_from_json('{"format": "something-else"}', code)
+
+
+class TestResources:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        code = rotated_surface_code(3)
+        return build_memory_experiment(code, nz_schedule(code), rounds=3)
+
+    def test_counts(self, experiment):
+        report = estimate_resources(experiment, SUPERCONDUCTING)
+        assert report.qubits == 17
+        assert report.cnot_count == 3 * 24  # 3 rounds x 24 Tanner edges
+        assert report.rounds == 3
+        assert report.layers == experiment.circuit.num_layers()
+
+    def test_movement_dominates_for_zoned_atoms(self, experiment):
+        static = estimate_resources(experiment, NEUTRAL_ATOM)
+        moving = estimate_resources(experiment, NEUTRAL_ATOM_MOVEMENT)
+        assert moving.total_time_s > static.total_time_s
+        assert moving.idle_strength > static.idle_strength
+
+    def test_idle_strength_sane(self, experiment):
+        """Per-platform idle strengths land in Figure 15's plotted range."""
+        for profile in PROFILES.values():
+            report = estimate_resources(experiment, profile)
+            assert 0 < report.idle_strength < 0.1
+
+    def test_total_time_is_rounds_times_round_time(self, experiment):
+        report = estimate_resources(experiment, SUPERCONDUCTING)
+        assert report.total_time_s == pytest.approx(
+            report.time_per_round_s * report.rounds
+        )

@@ -1,0 +1,85 @@
+"""Cross-validation: direct frame simulation vs DEM-based sampling.
+
+The two samplers take completely different paths from circuit to
+detector statistics; their distributions agreeing (rates, correlations)
+is strong evidence both the DEM extraction and the samplers are right.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_memory_experiment, coloration_schedule, nz_schedule
+from repro.codes import load_benchmark_code, rotated_surface_code
+from repro.noise import NoiseModel
+from repro.sim import DemSampler, extract_dem
+from repro.sim.frame import FrameSimulator
+
+
+def build_noisy(code, schedule, p=3e-3, rounds=2, idle=0.0, basis="z"):
+    exp = build_memory_experiment(code, schedule, rounds=rounds, basis=basis)
+    return NoiseModel(p=p, idle_strength=idle).apply(exp.circuit)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("basis", ["z", "x"])
+    def test_detector_rates_agree_surface(self, basis):
+        code = rotated_surface_code(3)
+        noisy = build_noisy(code, nz_schedule(code), basis=basis)
+        shots = 60_000
+        frame = FrameSimulator(noisy).sample(shots, np.random.default_rng(0))
+        dem = extract_dem(noisy)
+        demb = DemSampler(dem).sample(shots, np.random.default_rng(1))
+        rate_f = frame.detectors.mean(axis=0)
+        rate_d = demb.detectors.mean(axis=0)
+        assert np.allclose(rate_f, rate_d, atol=4e-3)
+
+    def test_observable_rates_agree(self):
+        code = rotated_surface_code(3)
+        noisy = build_noisy(code, nz_schedule(code), p=5e-3)
+        shots = 60_000
+        frame = FrameSimulator(noisy).sample(shots, np.random.default_rng(0))
+        demb = DemSampler(extract_dem(noisy)).sample(shots, np.random.default_rng(1))
+        assert frame.observables.mean() == pytest.approx(
+            demb.observables.mean(), abs=5e-3
+        )
+
+    def test_agreement_with_idle_noise(self):
+        code = rotated_surface_code(3)
+        noisy = build_noisy(code, nz_schedule(code), p=2e-3, idle=0.01)
+        shots = 40_000
+        frame = FrameSimulator(noisy).sample(shots, np.random.default_rng(0))
+        demb = DemSampler(extract_dem(noisy)).sample(shots, np.random.default_rng(1))
+        assert np.allclose(
+            frame.detectors.mean(axis=0), demb.detectors.mean(axis=0), atol=5e-3
+        )
+
+    def test_agreement_for_ldpc_code(self):
+        code = load_benchmark_code("lp39")
+        noisy = build_noisy(code, coloration_schedule(code), p=2e-3)
+        shots = 30_000
+        frame = FrameSimulator(noisy).sample(shots, np.random.default_rng(0))
+        demb = DemSampler(extract_dem(noisy)).sample(shots, np.random.default_rng(1))
+        assert np.allclose(
+            frame.detectors.mean(axis=0), demb.detectors.mean(axis=0), atol=6e-3
+        )
+
+    def test_noiseless_circuit_all_zero(self):
+        code = rotated_surface_code(3)
+        exp = build_memory_experiment(code, nz_schedule(code), rounds=2)
+        batch = FrameSimulator(exp.circuit).sample(500, np.random.default_rng(0))
+        assert not batch.detectors.any()
+        assert not batch.observables.any()
+
+    def test_pair_correlations_agree(self):
+        """Beyond marginals: two-detector coincidence rates must match."""
+        code = rotated_surface_code(3)
+        noisy = build_noisy(code, nz_schedule(code), p=5e-3)
+        shots = 60_000
+        f = FrameSimulator(noisy).sample(shots, np.random.default_rng(0)).detectors
+        d = DemSampler(extract_dem(noisy)).sample(shots, np.random.default_rng(1)).detectors
+        # Coincidence of the first 8 detectors pairwise.
+        for i in range(4):
+            for j in range(i + 1, 8):
+                cf = (f[:, i] & f[:, j]).mean()
+                cd = (d[:, i] & d[:, j]).mean()
+                assert cf == pytest.approx(cd, abs=3e-3)

@@ -1,0 +1,127 @@
+"""Tests for the CHP tableau simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.sim import TableauSimulator
+
+
+def sim(n, seed=0):
+    return TableauSimulator(n, rng=np.random.default_rng(seed))
+
+
+class TestBasics:
+    def test_initial_state_measures_zero(self):
+        s = sim(3)
+        for q in range(3):
+            value, random = s.measure_z(q)
+            assert value == 0 and not random
+
+    def test_x_flips_measurement(self):
+        s = sim(1)
+        s.x_gate(0)
+        assert s.measure_z(0) == (1, False)
+
+    def test_h_gives_random_outcome_then_collapses(self):
+        s = sim(1)
+        s.h(0)
+        v1, random1 = s.measure_z(0)
+        v2, random2 = s.measure_z(0)
+        assert random1 and not random2
+        assert v1 == v2
+
+    def test_plus_state_measures_x_deterministically(self):
+        s = sim(1)
+        s.h(0)
+        assert s.measure_x(0) == (0, False)
+
+    def test_z_flips_x_measurement(self):
+        s = sim(1)
+        s.h(0)
+        s.z_gate(0)
+        assert s.measure_x(0) == (1, False)
+
+
+class TestEntanglement:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bell_pair_correlated(self, seed):
+        s = sim(2, seed)
+        s.h(0)
+        s.cnot(0, 1)
+        a, r1 = s.measure_z(0)
+        b, r2 = s.measure_z(1)
+        assert r1 and not r2
+        assert a == b
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ghz_parity(self, seed):
+        s = sim(3, seed)
+        s.h(0)
+        s.cnot(0, 1)
+        s.cnot(1, 2)
+        bits = [s.measure_z(q)[0] for q in range(3)]
+        assert len(set(bits)) == 1
+
+    def test_cnot_propagation_rules(self):
+        """X on control spreads to target; Z on target spreads to control
+        (paper §2.6)."""
+        s = sim(2)
+        s.x_gate(0)
+        s.cnot(0, 1)
+        assert s.measure_z(1) == (1, False)  # X_c -> X_c X_t
+
+        s2 = sim(2)
+        s2.h(0)
+        s2.h(1)
+        s2.z_gate(1)
+        s2.cnot(0, 1)
+        assert s2.measure_x(0) == (1, False)  # Z_t -> Z_c Z_t
+
+
+class TestResets:
+    def test_reset_z_from_one(self):
+        s = sim(1)
+        s.x_gate(0)
+        s.reset_z(0)
+        assert s.measure_z(0) == (0, False)
+
+    def test_reset_x_gives_plus(self):
+        s = sim(1, seed=3)
+        s.reset_x(0)
+        assert s.measure_x(0) == (0, False)
+
+    def test_reset_from_superposition(self):
+        for seed in range(4):
+            s = sim(1, seed)
+            s.h(0)
+            s.reset_z(0)
+            assert s.measure_z(0) == (0, False)
+
+
+class TestCircuitRunner:
+    def test_stabilizer_measurement_of_prepared_eigenstate(self):
+        # Measure ZZ on |00>: ancilla-based parity check returns +1.
+        c = Circuit()
+        c.append("R", [0, 1, 2])
+        c.append("CNOT", [0, 2])
+        c.append("CNOT", [1, 2])
+        c.append("M", [2])
+        c.append("DETECTOR", [0])
+        result = TableauSimulator(3, rng=np.random.default_rng(0)).run(c)
+        assert result.measurements == [0]
+        assert result.detectors == [0]
+
+    def test_noise_rejected(self):
+        c = Circuit()
+        c.append("DEPOLARIZE1", [0], args=[0.1])
+        with pytest.raises(ValueError):
+            TableauSimulator(1).run(c)
+
+    def test_observable_accumulates(self):
+        c = Circuit()
+        c.append("R", [0])
+        c.append("M", [0])
+        c.append("OBSERVABLE_INCLUDE", [0], args=[0])
+        result = TableauSimulator(1, rng=np.random.default_rng(0)).run(c)
+        assert result.observables == [0]

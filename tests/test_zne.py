@@ -1,0 +1,152 @@
+"""Tests for ZNE: extrapolation, RB workloads, DS-ZNE vs Hook-ZNE."""
+
+import numpy as np
+import pytest
+
+from repro.zne import (
+    DS_ZNE_DISTANCE_SETS,
+    DistanceScalingZNE,
+    HOOK_ZNE_DISTANCE_SETS,
+    HookZNE,
+    RBWorkload,
+    exponential_extrapolate,
+    extrapolate_to_zero,
+    linear_extrapolate,
+    richardson_extrapolate,
+)
+
+
+class TestExtrapolation:
+    def test_linear_exact_on_line(self):
+        scales = np.array([1.0, 2.0, 3.0])
+        values = 5.0 - 2.0 * scales
+        assert linear_extrapolate(scales, values) == pytest.approx(5.0)
+
+    def test_richardson_exact_on_polynomial(self):
+        scales = np.array([1.0, 2.0, 3.0])
+        values = 1.0 - 0.5 * scales + 0.1 * scales**2
+        assert richardson_extrapolate(scales, values) == pytest.approx(1.0)
+
+    def test_exponential_exact_on_exponential(self):
+        scales = np.array([1.0, 2.0, 4.0])
+        values = 0.9 * np.exp(-0.3 * scales)
+        assert exponential_extrapolate(scales, values) == pytest.approx(0.9, rel=1e-4)
+
+    def test_exponential_falls_back_on_garbage(self):
+        scales = np.array([1.0, 2.0, 3.0])
+        values = np.array([-0.5, 0.5, -0.5])
+        out = exponential_extrapolate(scales, values)
+        assert np.isfinite(out)
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            extrapolate_to_zero([1, 2], [0.5, 0.4], method="psychic")
+
+
+class TestRBWorkload:
+    def test_zero_noise_is_ideal(self):
+        rb = RBWorkload(depth=50)
+        assert rb.expectation(0.0) == pytest.approx(1.0)
+
+    def test_decay_monotone_in_error(self):
+        rb = RBWorkload(depth=50)
+        es = [rb.expectation(e) for e in (1e-4, 1e-3, 1e-2)]
+        assert es[0] > es[1] > es[2]
+
+    def test_sample_concentrates(self):
+        rb = RBWorkload(depth=50)
+        rng = np.random.default_rng(0)
+        est = rb.sample_expectation(1e-3, 200_000, rng)
+        assert est == pytest.approx(rb.expectation(1e-3), abs=5e-3)
+
+    def test_invalid_inputs(self):
+        rb = RBWorkload()
+        with pytest.raises(ValueError):
+            rb.expectation(1.5)
+        with pytest.raises(ValueError):
+            rb.sample_expectation(0.1, 0, np.random.default_rng(0))
+
+
+class TestDSZNE:
+    def test_gate_error_scaling(self):
+        ds = DistanceScalingZNE(lam=2.0)
+        # P_L(d) = Lambda^{-(d+1)/2}: halves per unit... factor Lambda per
+        # distance step of 2.
+        assert ds.gate_error(7) / ds.gate_error(9) == pytest.approx(2.0)
+
+    def test_run_shapes(self):
+        ds = DistanceScalingZNE(lam=2.0)
+        out = ds.run([9, 7, 5, 3], 20_000, np.random.default_rng(0))
+        assert len(out.expectations) == 4
+        assert min(out.scale_factors) == pytest.approx(1.0)
+        assert out.ideal == 1.0
+
+    def test_needs_two_scales(self):
+        with pytest.raises(ValueError):
+            DistanceScalingZNE(lam=2.0).run([9], 100, np.random.default_rng(0))
+
+    def test_mitigation_beats_raw(self):
+        """The extrapolated estimate must beat the unmitigated expectation."""
+        ds = DistanceScalingZNE(lam=2.0)
+        rng = np.random.default_rng(1)
+        biases, raws = [], []
+        for _ in range(30):
+            out = ds.run([13, 11, 9, 7], 20_000, rng)
+            biases.append(out.bias)
+            raws.append(abs(ds.workload.expectation(ds.gate_error(13)) - 1.0))
+        assert np.mean(biases) < np.mean(raws)
+
+
+class TestHookZNE:
+    def test_fine_scales_are_fine(self):
+        hook = HookZNE(lam=2.0)
+        out = hook.run([13, 12.5, 12, 11.5], 20_000, np.random.default_rng(0))
+        # Scale factors stay within a factor Lambda^(1.5/2) ~ 1.68.
+        assert max(out.scale_factors) < 2.0
+
+    def test_amplification_range(self):
+        hook = HookZNE(lam=4.0)
+        lo, hi = hook.amplification_range(d=9, d_eff_min=5)
+        assert lo == 1.0
+        assert hi == pytest.approx(4.0 ** ((9 - 5) / 2))
+
+    def test_distance_sets_align_with_paper(self):
+        assert DS_ZNE_DISTANCE_SETS[0] == [13, 11, 9, 7]
+        assert HOOK_ZNE_DISTANCE_SETS[0] == [13, 12.5, 12, 11.5]
+
+    def test_hook_beats_ds_on_average(self):
+        """The paper's Fig 16b claim: Hook-ZNE's bias is consistently lower
+        under the same total shot budget."""
+        lam = 2.0
+        shots = 20_000
+        trials = 60
+        rng = np.random.default_rng(7)
+        ds = DistanceScalingZNE(lam=lam)
+        hook = HookZNE(lam=lam)
+        for ds_set, hook_set in zip(DS_ZNE_DISTANCE_SETS, HOOK_ZNE_DISTANCE_SETS):
+            ds_bias = np.mean(
+                [ds.run(ds_set, shots, rng).bias for _ in range(trials)]
+            )
+            hook_bias = np.mean(
+                [hook.run(hook_set, shots, rng).bias for _ in range(trials)]
+            )
+            assert hook_bias < ds_bias
+
+
+class TestPropHuntIntegration:
+    def test_noise_dials_from_real_optimization(self):
+        """End-to-end: intermediate schedules give a decreasing noise dial."""
+        from repro.codes import rotated_surface_code
+        from repro.circuits import poor_schedule
+        from repro.core import PropHunt, PropHuntConfig
+        from repro.zne import noise_dials_from_prophunt
+
+        code = rotated_surface_code(3)
+        cfg = PropHuntConfig(iterations=3, samples_per_iteration=25, seed=1)
+        result = PropHunt(code, cfg).optimize(poor_schedule(code))
+        dials = noise_dials_from_prophunt(
+            result, p=3e-3, shots=3000, rng=np.random.default_rng(0)
+        )
+        assert len(dials) == len(result.intermediate_schedules)
+        first, last = dials[0][1], dials[-1][1]
+        assert last < first  # optimization reduced the logical error rate
