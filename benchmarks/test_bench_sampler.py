@@ -1,0 +1,80 @@
+"""Packed vs dense shot sampling at 100k shots.
+
+Unlike the other benchmark files (end-to-end experiment drivers), this
+one microbenchmarks the hot kernel the whole evaluation pipeline sits
+on: one ``DemSampler`` batch of 100 000 shots, packed
+(``sample_packed``, the production path) vs dense (``sample_dense``,
+the seed implementation kept as reference).  The two consume the RNG
+identically, so the comparison is pure representation cost.  Acceptance
+bar from the packed-pipeline PR: packed >= 3x faster on surface_d5
+(see CHANGES.md for recorded numbers).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import coloration_schedule, nz_schedule
+from repro.codes import load_benchmark_code
+from repro.decoders.metrics import dem_for
+from repro.noise import NoiseModel
+from repro.sim import DemSampler
+
+SHOTS = 100_000
+
+
+def _sampler(name: str) -> DemSampler:
+    code = load_benchmark_code(name)
+    sched = (
+        nz_schedule(code) if name.startswith("surface") else coloration_schedule(code)
+    )
+    return DemSampler(dem_for(code, sched, NoiseModel(p=1e-3), basis="z"))
+
+
+@pytest.fixture(scope="module")
+def surface_d5():
+    return _sampler("surface_d5")
+
+
+@pytest.fixture(scope="module")
+def lp39():
+    return _sampler("lp39")
+
+
+@pytest.mark.benchmark(group="sampler-surface_d5")
+def test_packed_surface_d5(benchmark, surface_d5):
+    batch = benchmark.pedantic(
+        lambda: surface_d5.sample_packed(SHOTS, np.random.default_rng(0)),
+        rounds=3,
+        iterations=1,
+    )
+    assert batch.shots == SHOTS
+
+
+@pytest.mark.benchmark(group="sampler-surface_d5")
+def test_dense_surface_d5(benchmark, surface_d5):
+    batch = benchmark.pedantic(
+        lambda: surface_d5.sample_dense(SHOTS, np.random.default_rng(0)),
+        rounds=3,
+        iterations=1,
+    )
+    assert batch.shots == SHOTS
+
+
+@pytest.mark.benchmark(group="sampler-lp39")
+def test_packed_lp39(benchmark, lp39):
+    batch = benchmark.pedantic(
+        lambda: lp39.sample_packed(SHOTS, np.random.default_rng(0)),
+        rounds=3,
+        iterations=1,
+    )
+    assert batch.shots == SHOTS
+
+
+@pytest.mark.benchmark(group="sampler-lp39")
+def test_dense_lp39(benchmark, lp39):
+    batch = benchmark.pedantic(
+        lambda: lp39.sample_dense(SHOTS, np.random.default_rng(0)),
+        rounds=3,
+        iterations=1,
+    )
+    assert batch.shots == SHOTS

@@ -38,7 +38,7 @@ def cmd_evaluate(args) -> int:
     rng = np.random.default_rng(args.seed)
     deff = estimate_effective_distance(code, schedule, samples=args.samples, rng=rng)
     ler = estimate_logical_error_rate(
-        code, schedule, p=args.p, shots=args.shots, rng=rng
+        code, schedule, p=args.p, shots=args.shots, rng=rng, workers=args.workers
     )
     print(f"code            : {code.label()}")
     print(f"circuit         : coloration, CNOT depth {schedule.cnot_depth()}")
@@ -67,10 +67,15 @@ def cmd_optimize(args) -> int:
         )
     rng = np.random.default_rng(args.seed)
     before = estimate_logical_error_rate(
-        code, start, p=args.p, shots=args.shots, rng=rng
+        code, start, p=args.p, shots=args.shots, rng=rng, workers=args.workers
     )
     after = estimate_logical_error_rate(
-        code, result.final_schedule, p=args.p, shots=args.shots, rng=rng
+        code,
+        result.final_schedule,
+        p=args.p,
+        shots=args.shots,
+        rng=rng,
+        workers=args.workers,
     )
     print(f"\nLER @ p={args.p:g}: {before.rate:.3e} -> {after.rate:.3e}")
     if after.rate > 0:
@@ -96,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--shots", type=int, default=4000)
     ev.add_argument("--samples", type=int, default=30)
     ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument(
+        "--workers", type=int, default=1, help="shot-runner worker processes"
+    )
     ev.set_defaults(fn=cmd_evaluate)
 
     opt = sub.add_parser("optimize", help="run PropHunt on a benchmark code")

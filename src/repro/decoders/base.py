@@ -6,6 +6,7 @@ import abc
 
 import numpy as np
 
+from ..sim.bitbatch import BitSampleBatch, pack_shots, popcount_words
 from ..sim.dem import DetectorErrorModel
 
 
@@ -26,3 +27,18 @@ class Decoder(abc.ABC):
         """Per-shot boolean: did the decoder mispredict any observable?"""
         predictions = self.decode_batch(detectors)
         return (predictions != observables).any(axis=1)
+
+    def count_failures_packed(self, batch: BitSampleBatch) -> int:
+        """Number of shots in ``batch`` whose observables are mispredicted.
+
+        Decoding itself still consumes dense syndromes, but the
+        mismatch accounting stays packed: predictions are repacked,
+        XOR-ed with the sampled observable words, OR-reduced across
+        observables, and popcounted — no dense per-shot bookkeeping.
+        """
+        if batch.num_observables == 0:
+            return 0
+        predictions = self.decode_batch(batch.detectors_dense())
+        mismatch = pack_shots(predictions) ^ batch.observables
+        failed_any = np.bitwise_or.reduce(mismatch, axis=0)
+        return int(popcount_words(failed_any))

@@ -19,7 +19,6 @@ from ..circuits.schedule import Schedule
 from ..codes.css import CSSCode
 from ..noise.model import NoiseModel
 from ..sim.dem import DetectorErrorModel, extract_dem
-from ..sim.sampler import DemSampler
 from .base import Decoder
 from .bposd import BpOsdDecoder
 from .matching import MatchingDecoder, detector_subset_for_basis
@@ -103,30 +102,31 @@ def estimate_logical_error_rate(
     rng: np.random.Generator | None = None,
     max_failures: int | None = None,
     batch_size: int = 5_000,
+    workers: int = 1,
 ) -> LogicalErrorRate:
     """Monte-Carlo logical error rate of one SM circuit at error rate p.
 
-    Samples in batches until ``shots`` or ``max_failures`` is reached (the
-    latter caps time spent on high-error configurations).
+    Samples in chunks of ``batch_size`` shots until ``shots`` or
+    ``max_failures`` is reached (the latter caps time spent on
+    high-error configurations); ``workers > 1`` fans chunks out over
+    processes.  The shot loop itself lives in
+    :mod:`repro.experiments.shotrunner` — one chunked, bit-packed,
+    optionally parallel entry point shared by every experiment.
     """
-    rng = rng or np.random.default_rng()
-    noise = NoiseModel(p=p, idle_strength=idle_strength)
-    per_basis: dict[str, MemoryResult] = {}
-    for basis in bases:
-        dem = dem_for(code, schedule, noise, basis=basis, rounds=rounds)
-        sampler = DemSampler(dem)
-        dec = make_decoder(dem, basis, decoder)
-        failures = 0
-        done = 0
-        while done < shots:
-            take = min(batch_size, shots - done)
-            batch = sampler.sample(take, rng)
-            fails = dec.logical_failures(batch.detectors, batch.observables)
-            failures += int(fails.sum())
-            done += take
-            if max_failures is not None and failures >= max_failures:
-                break
-        per_basis[basis] = MemoryResult(
-            basis=basis, estimate=RateEstimate(failures, done), dem=dem
-        )
-    return LogicalErrorRate(code_name=code.name, p=p, per_basis=per_basis)
+    # Imported lazily: the experiments package imports this module.
+    from ..experiments.shotrunner import estimate_logical_error_rate_chunked
+
+    return estimate_logical_error_rate_chunked(
+        code,
+        schedule,
+        p,
+        shots=shots,
+        rounds=rounds,
+        bases=bases,
+        decoder=decoder,
+        idle_strength=idle_strength,
+        rng=rng,
+        max_failures=max_failures,
+        chunk_size=batch_size,
+        workers=workers,
+    )

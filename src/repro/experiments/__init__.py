@@ -8,13 +8,17 @@ from . import (
     fig14_scaling,
     fig15_idle,
     fig16_zne,
+    shotrunner,
     table1_codes,
     table2_models,
 )
 from .common import ExperimentResult
+from .shotrunner import estimate_logical_error_rate_chunked, run_shot_chunks
 
 __all__ = [
     "ExperimentResult",
+    "estimate_logical_error_rate_chunked",
+    "run_shot_chunks",
     "fig01_predictors",
     "fig06_schedules",
     "fig12_benchmarks",
@@ -22,6 +26,7 @@ __all__ = [
     "fig14_scaling",
     "fig15_idle",
     "fig16_zne",
+    "shotrunner",
     "table1_codes",
     "table2_models",
 ]

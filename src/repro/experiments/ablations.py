@@ -161,20 +161,16 @@ def run_flags_vs_prophunt(
     )
 
     # Flag-augmented poor schedule, decoded with BP+OSD on the full DEM
-    # (flag detectors are hyperedges, so matching does not apply).
-    from ..decoders import BpOsdDecoder
-    from ..sim.sampler import DemSampler
+    # (flag detectors are hyperedges, so matching does not apply).  Shots
+    # go through the chunked packed runner like every other LER loop.
+    from .shotrunner import run_shot_chunks
 
     rates = {}
     for basis in ("z", "x"):
         exp = build_flagged_memory_experiment(code, start, rounds=3, basis=basis)
         dem = extract_dem(NoiseModel(p=p).apply(exp.circuit))
-        sampler = DemSampler(dem)
-        decoder = BpOsdDecoder(dem)
-        batch = sampler.sample(shots, rng)
-        rates[basis] = float(
-            decoder.logical_failures(batch.detectors, batch.observables).mean()
-        )
+        est = run_shot_chunks(dem, shots=shots, basis=basis, decoder="bposd", rng=rng)
+        rates[basis] = est.rate
     flagged_rate = 1 - (1 - rates["z"]) * (1 - rates["x"])
     flag_exp = build_flagged_memory_experiment(code, start, rounds=3)
     result.add(

@@ -27,6 +27,7 @@ def run(
     shots: int = 8000,
     deff_samples: int = 30,
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentResult:
     code = rotated_surface_code(d)
     rng = np.random.default_rng(seed)
@@ -46,7 +47,7 @@ def run(
             code, sched, samples=deff_samples, rng=rng
         )
         ler = estimate_logical_error_rate(
-            code, sched, p=p, shots=shots, rng=rng
+            code, sched, p=p, shots=shots, rng=rng, workers=workers
         )
         result.add(
             schedule=name,

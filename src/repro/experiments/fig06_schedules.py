@@ -22,6 +22,7 @@ def run(
     p_values: tuple[float, ...] = (1e-3, 2e-3, 4e-3, 8e-3),
     shots: int = 10_000,
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentResult:
     code = rotated_surface_code(d)
     rng = np.random.default_rng(seed)
@@ -32,7 +33,7 @@ def run(
         deff = estimate_effective_distance(code, sched, samples=24, rng=rng)
         for p in p_values:
             ler = estimate_logical_error_rate(
-                code, sched, p=p, shots=shots, rng=rng
+                code, sched, p=p, shots=shots, rng=rng, workers=workers
             )
             result.add(
                 schedule=name,

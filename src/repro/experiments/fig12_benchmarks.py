@@ -61,6 +61,7 @@ def run(
     samples: int | None = None,
     seed: int = 0,
     include_intermediate: bool = False,
+    workers: int = 1,
 ) -> ExperimentResult:
     result = ExperimentResult(
         name="Figure 12: PropHunt vs coloration (vs hand-designed)",
@@ -80,7 +81,13 @@ def run(
         for p in p_values:
             for label, sched in circuits.items():
                 ler = estimate_logical_error_rate(
-                    code, sched, p=p, shots=shots, rng=rng, max_failures=400
+                    code,
+                    sched,
+                    p=p,
+                    shots=shots,
+                    rng=rng,
+                    max_failures=400,
+                    workers=workers,
                 )
                 result.add(
                     code=name,

@@ -25,6 +25,7 @@ def run(
     iterations: int = 4,
     samples: int = 30,
     seed: int = 0,
+    workers: int = 1,
 ) -> ExperimentResult:
     """The default p is 3e-3 rather than the paper's 1e-3: at laptop-scale
     shot counts the improvement signal at 1e-3 sits inside the Wilson
@@ -46,10 +47,16 @@ def run(
         )
         opt = PropHunt(code, config).optimize(start)
         before = estimate_logical_error_rate(
-            code, start, p=p, shots=shots, rng=rng, max_failures=400
+            code, start, p=p, shots=shots, rng=rng, max_failures=400, workers=workers
         )
         after = estimate_logical_error_rate(
-            code, opt.final_schedule, p=p, shots=shots, rng=rng, max_failures=400
+            code,
+            opt.final_schedule,
+            p=p,
+            shots=shots,
+            rng=rng,
+            max_failures=400,
+            workers=workers,
         )
         result.add(
             start=start_idx,

@@ -25,6 +25,7 @@ def run(
     shots: int = 6000,
     seed: int = 0,
     optimized_schedule=None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Sweep idle strength for a shallow vs a deeper (better) circuit.
 
@@ -61,6 +62,7 @@ def run(
                 idle_strength=strength,
                 rng=rng,
                 max_failures=400,
+                workers=workers,
             )
             result.add(
                 circuit=label,

@@ -42,50 +42,64 @@ ALL_CODES = (
 )
 
 
-def _run_fig16(full: bool):
+def _scale(opts, smoke: int, default: int, full: int) -> int:
+    if opts.smoke:
+        return smoke
+    return full if opts.full else default
+
+
+def _run_fig16(opts):
     a = fig16_zne.run_amplification()
-    b = fig16_zne.run_bias(trials=200 if full else 40)
+    b = fig16_zne.run_bias(trials=_scale(opts, 10, 40, 200))
     return [a, b]
 
 
 EXPERIMENTS = {
-    "fig1": lambda full: [
-        fig01_predictors.run(shots=20_000 if full else 5000)
-    ],
-    "fig6": lambda full: [
-        fig06_schedules.run(shots=50_000 if full else 10_000)
-    ],
-    "table1": lambda full: [
-        table1_codes.run(distance_iterations=400 if full else 80)
-    ],
-    "fig12": lambda full: [
-        fig12_benchmarks.run(
-            codes=ALL_CODES if full else ("surface_d3", "surface_d5", "lp39", "rqt60"),
-            p_values=(5e-4, 1e-3, 3e-3) if full else (1e-3, 3e-3),
-            shots=30_000 if full else 5000,
-            include_intermediate=full,
+    "fig1": lambda opts: [
+        fig01_predictors.run(
+            shots=_scale(opts, 500, 5000, 20_000), workers=opts.workers
         )
     ],
-    "fig13": lambda full: [
+    "fig6": lambda opts: [
+        fig06_schedules.run(
+            shots=_scale(opts, 300, 10_000, 50_000), workers=opts.workers
+        )
+    ],
+    "table1": lambda opts: [
+        table1_codes.run(distance_iterations=_scale(opts, 20, 80, 400))
+    ],
+    "fig12": lambda opts: [
+        fig12_benchmarks.run(
+            codes=ALL_CODES
+            if opts.full
+            else ("surface_d3", "surface_d5", "lp39", "rqt60"),
+            p_values=(5e-4, 1e-3, 3e-3) if opts.full else (1e-3, 3e-3),
+            shots=_scale(opts, 400, 5000, 30_000),
+            include_intermediate=opts.full,
+            workers=opts.workers,
+        )
+    ],
+    "fig13": lambda opts: [
         fig13_random_starts.run(
             num_starts=3,
-            shots=20_000 if full else 6000,
-            iterations=6 if full else 4,
+            shots=_scale(opts, 500, 6000, 20_000),
+            iterations=_scale(opts, 2, 4, 6),
+            workers=opts.workers,
         )
     ],
-    "table2": lambda full: [
-        table2_models.run(global_timeout=60.0 if full else 5.0)
+    "table2": lambda opts: [
+        table2_models.run(global_timeout=60.0 if opts.full else (2.0 if opts.smoke else 5.0))
     ],
-    "fig14": lambda full: [
+    "fig14": lambda opts: [
         fig14_scaling.run(
-            samples_per_code=100 if full else 25,
+            samples_per_code=_scale(opts, 8, 25, 100),
             codes=("surface_d3", "surface_d5", "surface_d7", "rqt60")
-            if full
+            if opts.full
             else ("surface_d3", "surface_d5", "rqt60"),
         )
     ],
-    "fig15": lambda full: [
-        fig15_idle.run(shots=20_000 if full else 6000)
+    "fig15": lambda opts: [
+        fig15_idle.run(shots=_scale(opts, 400, 6000, 20_000), workers=opts.workers)
     ],
     "fig16": _run_fig16,
 }
@@ -107,10 +121,22 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         help=f"one of {sorted(EXPERIMENTS)} or 'all'",
     )
-    parser.add_argument(
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
         "--full",
         action="store_true",
         help="paper-scale parameters (much slower)",
+    )
+    scale.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny shot counts (CI sanity run, seconds not minutes)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the chunked shot runner (1 = inline)",
     )
     args = parser.parse_args(argv)
 
@@ -120,7 +146,7 @@ def main(argv: list[str] | None = None) -> int:
         if target not in EXPERIMENTS:
             parser.error(f"unknown experiment {target!r}")
         t0 = time.monotonic()
-        for result in EXPERIMENTS[target](args.full):
+        for result in EXPERIMENTS[target](args):
             result.print()
             print()
         print(f"[{target} finished in {time.monotonic() - t0:.1f}s]\n")

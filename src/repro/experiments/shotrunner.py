@@ -1,0 +1,228 @@
+"""Chunked parallel shot runner — the one batching/parallelism entry point.
+
+Every figure's dominant cost is the same loop: sample a batch of shots
+from a compiled DEM, decode, count logical failures.  This module owns
+that loop.  Shots are sharded into fixed-size chunks (rounded up to a
+multiple of 64 so packed batches stay word-aligned), every chunk gets
+its own RNG substream spawned from one :class:`numpy.random.SeedSequence`
+root, and chunks run either inline or fanned out over processes (fork
+start method, like the paper's 48-core runs in §6.1).
+
+Chunk results stream back in chunk order regardless of worker count and
+are accumulated in that order, so the outcome — including ``max_failures``
+early stopping — is a pure function of the seed root: ``workers=1`` and
+``workers=N`` give bit-identical estimates (see
+``tests/test_shotrunner.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..analysis.stats import RateEstimate
+from ..decoders.base import Decoder
+from ..decoders.metrics import LogicalErrorRate, MemoryResult, dem_for, make_decoder
+from ..noise.model import NoiseModel
+from ..sim.dem import DetectorErrorModel
+from ..sim.sampler import DemSampler
+
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """Outcome of one chunk of shots."""
+
+    index: int
+    shots: int
+    failures: int
+
+
+def plan_chunks(shots: int, chunk_size: int) -> list[int]:
+    """Split ``shots`` into chunk sizes.
+
+    ``chunk_size`` is rounded up to a multiple of 64 so every chunk but
+    the last is word-aligned in the packed representation.
+    """
+    if shots <= 0:
+        return []
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    aligned = ((chunk_size + _ALIGN - 1) // _ALIGN) * _ALIGN
+    full, rest = divmod(shots, aligned)
+    return [aligned] * full + ([rest] if rest else [])
+
+
+def spawn_chunk_seeds(
+    rng: np.random.Generator, n: int
+) -> list[np.random.SeedSequence]:
+    """Spawn ``n`` child seed sequences from a generator's seed root.
+
+    Chunk ``i`` always gets child ``i`` of the root's current spawn
+    counter, so the streams do not depend on which worker runs which
+    chunk — the determinism guarantee of the whole runner.
+    """
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        # Exotic bit generator without a seed sequence: derive a root
+        # from the stream itself (still deterministic given the rng).
+        seed_seq = np.random.SeedSequence(int(rng.integers(np.iinfo(np.int64).max)))
+    return seed_seq.spawn(n)
+
+
+# Module-level state for process-pool workers (set by the initializer in
+# each worker process; the inline workers=1 path uses locals instead so
+# the runner stays re-entrant).
+_WORKER_SAMPLER: DemSampler | None = None
+_WORKER_DECODER: Decoder | None = None
+
+
+def _init_worker(dem: DetectorErrorModel, basis: str, decoder: str) -> None:
+    global _WORKER_SAMPLER, _WORKER_DECODER
+    _WORKER_SAMPLER = DemSampler(dem)
+    _WORKER_DECODER = make_decoder(dem, basis, decoder)
+
+
+def _run_chunk_with(
+    sampler: DemSampler,
+    dec: Decoder,
+    job: tuple[int, int, np.random.SeedSequence],
+) -> ChunkResult:
+    index, chunk_shots, seed = job
+    rng = np.random.default_rng(seed)
+    batch = sampler.sample_packed(chunk_shots, rng)
+    failures = dec.count_failures_packed(batch)
+    return ChunkResult(index=index, shots=chunk_shots, failures=failures)
+
+
+def _run_chunk(job: tuple[int, int, np.random.SeedSequence]) -> ChunkResult:
+    if _WORKER_SAMPLER is None or _WORKER_DECODER is None:
+        raise RuntimeError("worker pool not initialized")
+    return _run_chunk_with(_WORKER_SAMPLER, _WORKER_DECODER, job)
+
+
+def run_shot_chunks(
+    dem: DetectorErrorModel,
+    shots: int,
+    basis: str = "z",
+    decoder: str = "auto",
+    rng: np.random.Generator | None = None,
+    chunk_size: int = 5_000,
+    workers: int = 1,
+    max_failures: int | None = None,
+    on_chunk: Callable[[ChunkResult], None] | None = None,
+) -> RateEstimate:
+    """Sample/decode ``shots`` shots of one DEM in chunks.
+
+    ``on_chunk`` streams per-chunk results (in chunk order) to the
+    caller as they are accumulated.  ``max_failures`` stops after the
+    first chunk that pushes the failure count past the cap, applied in
+    chunk order, so early stopping is worker-count independent.
+    """
+    rng = rng or np.random.default_rng()
+    sizes = plan_chunks(shots, chunk_size)
+    seeds = spawn_chunk_seeds(rng, len(sizes))
+    jobs = [(i, size, seed) for i, (size, seed) in enumerate(zip(sizes, seeds))]
+    if not jobs:
+        return RateEstimate(0, 0)
+
+    failures = 0
+    done = 0
+
+    def _account(result: ChunkResult) -> bool:
+        nonlocal failures, done
+        failures += result.failures
+        done += result.shots
+        if on_chunk is not None:
+            on_chunk(result)
+        return max_failures is not None and failures >= max_failures
+
+    if workers <= 1:
+        sampler = DemSampler(dem)
+        dec = make_decoder(dem, basis, decoder)
+        for job in jobs:
+            if _account(_run_chunk_with(sampler, dec, job)):
+                break
+    else:
+        workers = min(workers, len(jobs), os.cpu_count() or 1)
+        # Prefer fork (cheap workers, DEM shared copy-on-write, like the
+        # paper's multicore runs); fall back to the platform default where
+        # fork is unavailable — correctness is unaffected, only startup cost.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(dem, basis, decoder),
+        )
+        try:
+            # Keep a bounded in-flight window and consume results strictly
+            # in chunk order: accounting stays deterministic, and once
+            # max_failures trips, chunks beyond the window were never
+            # submitted — the early stop actually saves their work.
+            window = 2 * workers
+            pending: dict[int, object] = {}
+            next_submit = 0
+
+            def _fill_window() -> None:
+                nonlocal next_submit
+                while next_submit < len(jobs) and len(pending) < window:
+                    pending[next_submit] = pool.submit(_run_chunk, jobs[next_submit])
+                    next_submit += 1
+
+            _fill_window()
+            for i in range(len(jobs)):
+                if _account(pending.pop(i).result()):
+                    break
+                _fill_window()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+    return RateEstimate(failures, done)
+
+
+def estimate_logical_error_rate_chunked(
+    code,
+    schedule,
+    p: float,
+    shots: int = 10_000,
+    rounds: int | None = None,
+    bases: tuple[str, ...] = ("z", "x"),
+    decoder: str = "auto",
+    idle_strength: float = 0.0,
+    rng: np.random.Generator | None = None,
+    max_failures: int | None = None,
+    chunk_size: int = 5_000,
+    workers: int = 1,
+) -> LogicalErrorRate:
+    """Chunk-runner-backed Monte-Carlo logical error rate.
+
+    The engine behind
+    :func:`repro.decoders.metrics.estimate_logical_error_rate`; call
+    this directly to pass runner-specific knobs (``workers``,
+    ``chunk_size``, ``on_chunk``-style streaming via
+    :func:`run_shot_chunks`).
+    """
+    rng = rng or np.random.default_rng()
+    noise = NoiseModel(p=p, idle_strength=idle_strength)
+    per_basis: dict[str, MemoryResult] = {}
+    for basis in bases:
+        dem = dem_for(code, schedule, noise, basis=basis, rounds=rounds)
+        estimate = run_shot_chunks(
+            dem,
+            shots=shots,
+            basis=basis,
+            decoder=decoder,
+            rng=rng,
+            chunk_size=chunk_size,
+            workers=workers,
+            max_failures=max_failures,
+        )
+        per_basis[basis] = MemoryResult(basis=basis, estimate=estimate, dem=dem)
+    return LogicalErrorRate(code_name=code.name, p=p, per_basis=per_basis)

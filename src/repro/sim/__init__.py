@@ -1,8 +1,9 @@
 """Simulation substrate: DEM extraction, sampling, tableau verification."""
 
-from .frame import FrameSimulator
+from .bitbatch import BitSampleBatch, SampleBatch, pack_shots, unpack_shots
 from .dem import DetectorErrorModel, ErrorMechanism, ErrorSource, extract_dem
-from .sampler import DemSampler, SampleBatch
+from .frame import FrameSimulator
+from .sampler import DemSampler
 from .tableau import CircuitResult, TableauSimulator, verify_deterministic_detectors
 
 __all__ = [
@@ -13,6 +14,9 @@ __all__ = [
     "extract_dem",
     "DemSampler",
     "SampleBatch",
+    "BitSampleBatch",
+    "pack_shots",
+    "unpack_shots",
     "CircuitResult",
     "TableauSimulator",
     "verify_deterministic_detectors",

@@ -1,0 +1,203 @@
+"""Bit-packed shot batches.
+
+The hot path of every experiment is Monte-Carlo shot sampling; this
+module gives it a Stim-style representation: detector/observable
+outcomes are packed 64 shots per ``uint64`` word along the *shot* axis,
+so one row holds one detector across the whole batch.  XOR-accumulating
+error-mechanism columns then costs ``ceil(shots / 64)`` word ops per
+flip instead of ``shots`` bytes, and failure counting is a popcount.
+
+Packing bottoms out in :mod:`repro.gf2.bitmat`, the same kernels the
+elimination routines use; this module adds the shot-axis conventions
+(transpose, tail bits) plus the scatter/reduce kernels the samplers
+need.  The dense ``SampleBatch`` lives here too and is kept as a thin
+unpacked view for code that wants plain ``(shots, k)`` uint8 arrays.
+
+Tail bits (shot positions ``>= shots`` in the last word) are always
+zero; every producer in this module preserves that invariant, which is
+what makes popcount-based counting exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gf2.bitmat import pack_rows, unpack_rows
+
+_WORD = 64
+
+
+def num_shot_words(shots: int) -> int:
+    """Words needed to hold ``shots`` bits (at least one)."""
+    return max(1, (shots + _WORD - 1) // _WORD)
+
+
+def pack_shots(dense: np.ndarray) -> np.ndarray:
+    """Pack a dense ``(shots, k)`` 0/1 array into ``(k, ceil(shots/64))``
+    uint64 words: row ``i`` of the result is column ``i`` of the input,
+    bit ``s`` of the row (little-endian per word) is shot ``s``."""
+    dense = np.asarray(dense)
+    if dense.ndim != 2:
+        raise ValueError(f"expected a (shots, k) array, got shape {dense.shape}")
+    return pack_rows(np.ascontiguousarray(dense.T))
+
+
+def unpack_shots(words: np.ndarray, shots: int) -> np.ndarray:
+    """Inverse of :func:`pack_shots`; returns a dense ``(shots, k)`` uint8."""
+    return np.ascontiguousarray(unpack_rows(words, shots).T)
+
+
+def scatter_fires(
+    shot_idx: np.ndarray, mech_idx: np.ndarray, num_mechanisms: int, shots: int
+) -> np.ndarray:
+    """Scatter fire events into packed per-mechanism shot rows.
+
+    Returns ``(num_mechanisms, ceil(shots/64))`` uint64 words with bit
+    ``s`` of row ``j`` set iff mechanism ``j`` fired in shot ``s`` an
+    odd number of times — XOR accumulation, matching the mod-2
+    semantics of the dense sparse-matmul path for any event list.
+    """
+    nwords = num_shot_words(shots)
+    words = np.zeros(num_mechanisms * nwords, dtype=np.uint64)
+    if len(shot_idx):
+        shot_idx = np.asarray(shot_idx, dtype=np.int64)
+        mech_idx = np.asarray(mech_idx, dtype=np.int64)
+        flat = mech_idx * nwords + (shot_idx >> 6)
+        bits = np.uint64(1) << (shot_idx & 63).astype(np.uint64)
+        np.bitwise_xor.at(words, flat, bits)
+    return words.reshape(num_mechanisms, nwords)
+
+
+def xor_accumulate_csr(
+    indptr: np.ndarray, indices: np.ndarray, source: np.ndarray, num_rows: int
+) -> np.ndarray:
+    """Row-wise XOR gather: ``out[r] = XOR of source[indices[indptr[r]:indptr[r+1]]]``.
+
+    ``(indptr, indices)`` is CSR structure (e.g. of a check matrix with
+    one row per detector, columns indexing mechanisms); ``source`` holds
+    one packed shot-row per mechanism.  The loop is over output rows
+    only — detectors, not shots — so it stays cheap at any batch size.
+    """
+    if source.ndim != 2:
+        raise ValueError(f"expected a 2-D source, got shape {source.shape}")
+    nwords = source.shape[1]
+    out = np.zeros((num_rows, nwords), dtype=np.uint64)
+    for r in range(num_rows):
+        lo, hi = indptr[r], indptr[r + 1]
+        if hi > lo:
+            np.bitwise_xor.reduce(source[indices[lo:hi]], axis=0, out=out[r])
+    return out
+
+
+def popcount_words(words: np.ndarray, axis: int | None = None) -> np.ndarray | int:
+    """Total set bits, optionally along one axis."""
+    counts = np.bitwise_count(words)
+    if axis is None:
+        return int(counts.sum())
+    return counts.sum(axis=axis).astype(np.int64)
+
+
+@dataclass
+class SampleBatch:
+    """One batch of sampled shots, dense layout (unpacked view)."""
+
+    detectors: np.ndarray  # (shots, num_detectors) uint8
+    observables: np.ndarray  # (shots, num_observables) uint8
+
+    @property
+    def shots(self) -> int:
+        return self.detectors.shape[0]
+
+
+@dataclass
+class BitSampleBatch:
+    """One batch of sampled shots, bit-packed along the shot axis.
+
+    ``detectors`` is ``(num_detectors, ceil(shots/64))`` uint64 and
+    ``observables`` is ``(num_observables, ceil(shots/64))`` uint64; bit
+    ``s`` (little-endian within each word) is shot ``s``.  Tail bits are
+    zero.
+    """
+
+    detectors: np.ndarray
+    observables: np.ndarray
+    shots: int
+
+    @property
+    def num_detectors(self) -> int:
+        return self.detectors.shape[0]
+
+    @property
+    def num_observables(self) -> int:
+        return self.observables.shape[0]
+
+    @property
+    def num_words(self) -> int:
+        return self.detectors.shape[1]
+
+    # -- conversions ---------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, batch: SampleBatch) -> "BitSampleBatch":
+        return cls(
+            detectors=pack_shots(batch.detectors),
+            observables=pack_shots(batch.observables),
+            shots=batch.shots,
+        )
+
+    def to_dense(self) -> SampleBatch:
+        return SampleBatch(
+            detectors=unpack_shots(self.detectors, self.shots),
+            observables=unpack_shots(self.observables, self.shots),
+        )
+
+    def detectors_dense(self) -> np.ndarray:
+        """Just the ``(shots, num_detectors)`` uint8 view (decoder input)."""
+        return unpack_shots(self.detectors, self.shots)
+
+    # -- counting ------------------------------------------------------------
+
+    def detector_counts(self) -> np.ndarray:
+        """Per-detector number of shots in which it fired."""
+        return popcount_words(self.detectors, axis=1)
+
+    def observable_counts(self) -> np.ndarray:
+        """Per-observable number of shots in which it flipped."""
+        return popcount_words(self.observables, axis=1)
+
+    # -- combination ---------------------------------------------------------
+
+    @classmethod
+    def concat(cls, batches: "list[BitSampleBatch]") -> "BitSampleBatch":
+        """Concatenate batches along the shot axis.
+
+        Word-aligned (every batch but the last a multiple of 64 shots —
+        the chunk planner's convention) concatenation is a plain hstack;
+        otherwise fall back to an unpack/repack round trip.
+        """
+        if not batches:
+            raise ValueError("need at least one batch")
+        if len(batches) == 1:
+            return batches[0]
+        # A zero-shot batch still carries one (all-zero) word; hstacking it
+        # would shift later batches past the shot count.  Drop them first.
+        nonempty = [b for b in batches if b.shots > 0]
+        if len(nonempty) < 2:
+            return nonempty[0] if nonempty else batches[0]
+        batches = nonempty
+        aligned = all(b.shots % _WORD == 0 for b in batches[:-1])
+        total = sum(b.shots for b in batches)
+        if aligned:
+            return cls(
+                detectors=np.hstack([b.detectors for b in batches]),
+                observables=np.hstack([b.observables for b in batches]),
+                shots=total,
+            )
+        dense = [b.to_dense() for b in batches]
+        return cls(
+            detectors=pack_shots(np.vstack([d.detectors for d in dense])),
+            observables=pack_shots(np.vstack([d.observables for d in dense])),
+            shots=total,
+        )

@@ -6,10 +6,16 @@ columns (:mod:`repro.sim.sampler`), this simulator propagates a random
 Pauli frame per shot *through the circuit itself* — exactly Stim's
 ``FrameSimulator``.  Agreement between the two paths is a strong
 end-to-end check of the DEM extraction (see
-``tests/test_sim_frame.py``).
+``tests/test_sim_frame.py`` and ``tests/test_sim_crosscheck.py``).
 
-All shots advance together: the frame is a pair of (shots, qubits)
-boolean matrices, and each gate is a couple of vectorized column ops.
+All shots advance together and are bit-packed along the shot axis: the
+frame is a pair of ``(qubits, ceil(shots/64))`` uint64 matrices, so
+every Clifford gate is a couple of word-wise row XOR/swap ops and only
+the noise channels (which need one uniform draw per shot) touch
+anything shot-length.  ``sample`` unpacks the packed result;
+``sample_dense`` keeps the original boolean-matrix walk as a reference
+implementation with the identical RNG consumption, so packed and dense
+outputs are bit-for-bit equal for the same generator state.
 """
 
 from __future__ import annotations
@@ -17,7 +23,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..circuits.circuit import Circuit
-from .sampler import SampleBatch
+from ..gf2.bitmat import pack_rows
+from .bitbatch import BitSampleBatch, SampleBatch, num_shot_words
 
 _TWO_QUBIT_PAULIS = [
     (p1, p2)
@@ -25,6 +32,31 @@ _TWO_QUBIT_PAULIS = [
     for p2 in ("I", "X", "Y", "Z")
     if (p1, p2) != ("I", "I")
 ]
+
+# Per-category flip tables for DEPOLARIZE2 (entry 15 = not hit).
+_DEP2_XA = np.array([p1 in ("X", "Y") for p1, _ in _TWO_QUBIT_PAULIS] + [False])
+_DEP2_ZA = np.array([p1 in ("Z", "Y") for p1, _ in _TWO_QUBIT_PAULIS] + [False])
+_DEP2_XB = np.array([p2 in ("X", "Y") for _, p2 in _TWO_QUBIT_PAULIS] + [False])
+_DEP2_ZB = np.array([p2 in ("Z", "Y") for _, p2 in _TWO_QUBIT_PAULIS] + [False])
+
+
+def _dep2_flips(draw: np.ndarray, p: float) -> tuple[np.ndarray, ...]:
+    """Boolean (xa, za, xb, zb) flip masks for one DEPOLARIZE2 target pair."""
+    shots = draw.shape[0]
+    if p <= 0:
+        zero = np.zeros(shots, dtype=bool)
+        return zero, zero, zero, zero
+    hit = draw < p
+    # Clamp before dividing so the cast never sees huge ratios.
+    idx = np.floor(np.minimum(draw, p) / (p / 15)).astype(np.int64)
+    idx = np.minimum(idx, 15)
+    idx[~hit] = 15
+    return (
+        _DEP2_XA[idx],
+        _DEP2_ZA[idx],
+        _DEP2_XB[idx],
+        _DEP2_ZB[idx],
+    )
 
 
 class FrameSimulator:
@@ -35,7 +67,109 @@ class FrameSimulator:
         self.circuit = circuit
         self.num_qubits = circuit.num_qubits
 
+    # -- packed hot path -----------------------------------------------------
+
+    def sample_packed(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> BitSampleBatch:
+        rng = rng or np.random.default_rng()
+        q = self.num_qubits
+        nwords = num_shot_words(shots)
+        xf = np.zeros((q, nwords), dtype=np.uint64)
+        zf = np.zeros((q, nwords), dtype=np.uint64)
+        meas_flips: list[np.ndarray] = []
+        detector_rows: list[np.ndarray] = []
+        observable_rows: dict[int, np.ndarray] = {}
+
+        for op in self.circuit:
+            if op.gate == "CNOT":
+                for c, t in op.target_groups():
+                    xf[t] ^= xf[c]
+                    zf[c] ^= zf[t]
+            elif op.gate == "H":
+                for (qq,) in op.target_groups():
+                    tmp = xf[qq].copy()
+                    xf[qq] = zf[qq]
+                    zf[qq] = tmp
+            elif op.gate in ("R", "RX"):
+                for (qq,) in op.target_groups():
+                    xf[qq] = 0
+                    zf[qq] = 0
+            elif op.gate == "M":
+                for (qq,) in op.target_groups():
+                    meas_flips.append(xf[qq].copy())
+            elif op.gate == "MX":
+                for (qq,) in op.target_groups():
+                    meas_flips.append(zf[qq].copy())
+            elif op.gate == "DEPOLARIZE1":
+                p = op.args[0]
+                for (qq,) in op.target_groups():
+                    draw = rng.random(shots)
+                    is_x = draw < p / 3
+                    is_y = (draw >= p / 3) & (draw < 2 * p / 3)
+                    is_z = (draw >= 2 * p / 3) & (draw < p)
+                    flips = pack_rows(np.stack([is_x | is_y, is_z | is_y]))
+                    xf[qq] ^= flips[0]
+                    zf[qq] ^= flips[1]
+            elif op.gate == "DEPOLARIZE2":
+                p = op.args[0]
+                for a, b in op.target_groups():
+                    draw = rng.random(shots)
+                    xa, za, xb, zb = _dep2_flips(draw, p)
+                    flips = pack_rows(np.stack([xa, za, xb, zb]))
+                    xf[a] ^= flips[0]
+                    zf[a] ^= flips[1]
+                    xf[b] ^= flips[2]
+                    zf[b] ^= flips[3]
+            elif op.gate == "PAULI_CHANNEL_1":
+                px, py, pz = op.args
+                total = px + py + pz
+                for (qq,) in op.target_groups():
+                    draw = rng.random(shots)
+                    is_x = draw < px
+                    is_y = (draw >= px) & (draw < px + py)
+                    is_z = (draw >= px + py) & (draw < total)
+                    flips = pack_rows(np.stack([is_x | is_y, is_z | is_y]))
+                    xf[qq] ^= flips[0]
+                    zf[qq] ^= flips[1]
+            elif op.gate == "DETECTOR":
+                row = np.zeros(nwords, dtype=np.uint64)
+                for idx in op.targets:
+                    row ^= meas_flips[idx]
+                detector_rows.append(row)
+            elif op.gate == "OBSERVABLE_INCLUDE":
+                obs = int(op.args[0])
+                row = observable_rows.get(obs, np.zeros(nwords, dtype=np.uint64))
+                for idx in op.targets:
+                    row = row ^ meas_flips[idx]
+                observable_rows[obs] = row
+            # TICK: no-op
+
+        num_obs = max(observable_rows) + 1 if observable_rows else 0
+        detectors = (
+            np.stack(detector_rows)
+            if detector_rows
+            else np.zeros((0, nwords), dtype=np.uint64)
+        )
+        observables = np.zeros((num_obs, nwords), dtype=np.uint64)
+        for obs, row in observable_rows.items():
+            observables[obs] = row
+        return BitSampleBatch(detectors=detectors, observables=observables, shots=shots)
+
     def sample(self, shots: int, rng: np.random.Generator | None = None) -> SampleBatch:
+        """Dense view of :meth:`sample_packed` (backward-compatible API)."""
+        return self.sample_packed(shots, rng).to_dense()
+
+    # -- dense reference path ------------------------------------------------
+
+    def sample_dense(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> SampleBatch:
+        """Original boolean-matrix walk, kept as a reference implementation.
+
+        Draws the RNG in exactly the order of :meth:`sample_packed`, so
+        the two paths are bit-identical for the same generator state.
+        """
         rng = rng or np.random.default_rng()
         q = self.num_qubits
         xf = np.zeros((shots, q), dtype=bool)
@@ -78,20 +212,11 @@ class FrameSimulator:
                 p = op.args[0]
                 for a, b in op.target_groups():
                     draw = rng.random(shots)
-                    idx = np.floor(draw / (p / 15)).astype(np.int64)
-                    hit = draw < p
-                    for k, (p1, p2) in enumerate(_TWO_QUBIT_PAULIS):
-                        sel = hit & (idx == k)
-                        if not sel.any():
-                            continue
-                        if p1 in ("X", "Y"):
-                            xf[sel, a] ^= True
-                        if p1 in ("Z", "Y"):
-                            zf[sel, a] ^= True
-                        if p2 in ("X", "Y"):
-                            xf[sel, b] ^= True
-                        if p2 in ("Z", "Y"):
-                            zf[sel, b] ^= True
+                    xa, za, xb, zb = _dep2_flips(draw, p)
+                    xf[:, a] ^= xa
+                    zf[:, a] ^= za
+                    xf[:, b] ^= xb
+                    zf[:, b] ^= zb
             elif op.gate == "PAULI_CHANNEL_1":
                 px, py, pz = op.args
                 total = px + py + pz

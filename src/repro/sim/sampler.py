@@ -4,30 +4,27 @@ Sampling works column-wise like Stim's detector sampler: each mechanism
 fires independently (Bernoulli with its probability); a shot's detector
 and observable bits are the XOR of the fired mechanisms' columns.  The
 fire events are drawn per-mechanism as a binomial count plus uniform shot
-indices, so the cost is O(E + total_fires) instead of O(E * shots), and
-the XOR accumulation is one sparse matrix product.
+indices, so the cost is O(E + total_fires) instead of O(E * shots).
+
+The hot path is bit-packed (:mod:`repro.sim.bitbatch`): fires are
+scattered into per-mechanism shot rows of uint64 words and each
+detector row is the word-wise XOR of its mechanisms' rows, so the
+accumulation never materializes a dense ``(shots, detectors)`` array.
+``sample`` returns the dense :class:`SampleBatch` as a thin unpacking
+view of the packed batch; ``sample_dense`` keeps the original dense
+sparse-matmul path as an independent reference implementation for the
+cross-simulator litmus tests and benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 from scipy import sparse
 
+from .bitbatch import BitSampleBatch, SampleBatch, scatter_fires, xor_accumulate_csr
 from .dem import DetectorErrorModel
 
-
-@dataclass
-class SampleBatch:
-    """One batch of sampled shots."""
-
-    detectors: np.ndarray  # (shots, num_detectors) uint8
-    observables: np.ndarray  # (shots, num_observables) uint8
-
-    @property
-    def shots(self) -> int:
-        return self.detectors.shape[0]
+__all__ = ["DemSampler", "SampleBatch", "BitSampleBatch"]
 
 
 class DemSampler:
@@ -37,13 +34,19 @@ class DemSampler:
         self.dem = dem
         self.h, self.l = dem.check_matrices()
         self.probs = dem.probabilities()
-        # CSR of the transposed matrices: rows = mechanisms.
+        # CSR with rows = detectors/observables (packed accumulation).
+        self.h_rows = self.h.tocsr()
+        self.l_rows = self.l.tocsr()
+        # CSR of the transposed matrices: rows = mechanisms (dense path).
         self.h_t = self.h.T.tocsr()
         self.l_t = self.l.T.tocsr()
 
-    def sample(self, shots: int, rng: np.random.Generator | None = None) -> SampleBatch:
-        rng = rng or np.random.default_rng()
-        num_errors = self.dem.num_errors
+    # -- fire generation (shared by every path) ------------------------------
+
+    def _sample_fires(
+        self, shots: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw fire events as (shot_idx, mechanism_idx) index arrays."""
         rows: list[np.ndarray] = []
         cols: list[np.ndarray] = []
         counts = rng.binomial(shots, self.probs)
@@ -52,15 +55,50 @@ class DemSampler:
             rows.append(hit_shots)
             cols.append(np.full(counts[j], j, dtype=np.int64))
         if rows:
-            row_idx = np.concatenate(rows)
-            col_idx = np.concatenate(cols)
-        else:
-            row_idx = np.zeros(0, dtype=np.int64)
-            col_idx = np.zeros(0, dtype=np.int64)
-        fires = sparse.csr_matrix(
-            (np.ones(len(row_idx), dtype=np.int64), (row_idx, col_idx)),
-            shape=(shots, num_errors),
+            return np.concatenate(rows), np.concatenate(cols)
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+
+    # -- packed hot path -----------------------------------------------------
+
+    def sample_packed(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> BitSampleBatch:
+        """Sample a batch in packed form — the hot path."""
+        rng = rng or np.random.default_rng()
+        shot_idx, mech_idx = self._sample_fires(shots, rng)
+        fires = scatter_fires(shot_idx, mech_idx, self.dem.num_errors, shots)
+        detectors = xor_accumulate_csr(
+            self.h_rows.indptr, self.h_rows.indices, fires, self.dem.num_detectors
         )
+        observables = xor_accumulate_csr(
+            self.l_rows.indptr, self.l_rows.indices, fires, self.dem.num_observables
+        )
+        return BitSampleBatch(detectors=detectors, observables=observables, shots=shots)
+
+    def sample(self, shots: int, rng: np.random.Generator | None = None) -> SampleBatch:
+        """Dense view of :meth:`sample_packed` (backward-compatible API)."""
+        return self.sample_packed(shots, rng).to_dense()
+
+    # -- dense reference path ------------------------------------------------
+
+    def sample_dense(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> SampleBatch:
+        """Original dense sparse-matmul path, kept as a reference.
+
+        Consumes the RNG identically to :meth:`sample_packed`, so with
+        the same generator state the two are bit-identical — the litmus
+        tests pin the packed kernels to this implementation.
+        """
+        rng = rng or np.random.default_rng()
+        shot_idx, mech_idx = self._sample_fires(shots, rng)
+        fires = sparse.csr_matrix(
+            (np.ones(len(shot_idx), dtype=np.int64), (shot_idx, mech_idx)),
+            shape=(shots, self.dem.num_errors),
+        )
+        return self._dense_from_fires(fires)
+
+    def _dense_from_fires(self, fires: sparse.csr_matrix) -> SampleBatch:
         detectors = np.asarray(fires.dot(self.h_t).todense(), dtype=np.int64) % 2
         observables = np.asarray(fires.dot(self.l_t).todense(), dtype=np.int64) % 2
         return SampleBatch(
@@ -71,13 +109,16 @@ class DemSampler:
     def sample_errors(
         self, shots: int, rng: np.random.Generator | None = None
     ) -> tuple[sparse.csr_matrix, SampleBatch]:
-        """Sample returning also the raw error pattern (for decoder tests)."""
+        """Sample returning also the raw error pattern (for decoder tests).
+
+        Uses the same sparse binomial-fires draw as :meth:`sample`, so it
+        scales O(E + total_fires) instead of materializing a dense
+        ``(shots, num_errors)`` random matrix.
+        """
         rng = rng or np.random.default_rng()
-        mask = rng.random((shots, self.dem.num_errors)) < self.probs[None, :]
-        fires = sparse.csr_matrix(mask.astype(np.int64))
-        detectors = np.asarray(fires.dot(self.h_t).todense(), dtype=np.int64) % 2
-        observables = np.asarray(fires.dot(self.l_t).todense(), dtype=np.int64) % 2
-        return fires, SampleBatch(
-            detectors=detectors.astype(np.uint8),
-            observables=observables.astype(np.uint8),
+        shot_idx, mech_idx = self._sample_fires(shots, rng)
+        fires = sparse.csr_matrix(
+            (np.ones(len(shot_idx), dtype=np.int64), (shot_idx, mech_idx)),
+            shape=(shots, self.dem.num_errors),
         )
+        return fires, self._dense_from_fires(fires)

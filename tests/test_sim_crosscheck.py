@@ -1,0 +1,226 @@
+"""Randomized cross-simulator litmus tests.
+
+In the spirit of TransForm's synthesized litmus tests: instead of
+checking the samplers only on the handful of structured memory circuits
+the paper uses, generate a battery of small random Clifford+noise
+circuits and pin down two properties on every one of them:
+
+1. **Representation safety** — the bit-packed hot paths of
+   :class:`FrameSimulator` and :class:`DemSampler` are *bit-identical*
+   to the dense reference paths for the same RNG state (the packing is
+   pure representation, no resampling).
+2. **Cross-simulator agreement** — the two completely independent
+   samplers (direct Pauli-frame propagation vs DEM mechanism XOR) give
+   the same detector/observable marginals up to sampling noise plus the
+   DEM's O(p^2) independence approximation (chi-square-style z
+   tolerance with fixed seeds, so the suite is deterministic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.sim import DemSampler, FrameSimulator, extract_dem
+from repro.sim.bitbatch import BitSampleBatch, SampleBatch, pack_shots, unpack_shots
+
+NUM_RANDOM_CIRCUITS = 50
+MARGINAL_CIRCUITS = 12
+
+
+def random_clifford_noise_circuit(
+    rng: np.random.Generator,
+    num_qubits: int = 4,
+    layers: int = 5,
+    p: float = 0.01,
+) -> Circuit:
+    """A small random noisy Clifford circuit with detectors/observables.
+
+    Every layer applies a random disjoint mix of CNOT/H/R plus one noise
+    channel; some layers measure a qubit mid-circuit.  Detectors and the
+    observable reference random measurement subsets — both simulators
+    compute *flips relative to the noiseless reference*, so agreement is
+    well-defined even for physically non-deterministic detectors.
+    """
+    circ = Circuit()
+    circ.append("R", tuple(range(num_qubits)))
+    circ.tick()
+    num_meas = 0
+    for _ in range(layers):
+        qubits = [int(q) for q in rng.permutation(num_qubits)]
+        while len(qubits) >= 2 and rng.random() < 0.7:
+            a, b = qubits.pop(), qubits.pop()
+            circ.append("CNOT", (a, b))
+        for q in qubits:
+            r = rng.random()
+            if r < 0.35:
+                circ.append("H", (q,))
+            elif r < 0.45:
+                circ.append("M" if rng.random() < 0.5 else "MX", (q,))
+                num_meas += 1
+            elif r < 0.55:
+                circ.append("R" if rng.random() < 0.5 else "RX", (q,))
+        choice = rng.random()
+        if choice < 0.4:
+            circ.append("DEPOLARIZE1", tuple(range(num_qubits)), (p,))
+        elif choice < 0.7:
+            pair = tuple(int(q) for q in rng.choice(num_qubits, 2, replace=False))
+            circ.append("DEPOLARIZE2", pair, (p,))
+        else:
+            circ.append(
+                "PAULI_CHANNEL_1", tuple(range(num_qubits)), (p / 2, p / 4, p / 4)
+            )
+        circ.tick()
+    circ.append("M", tuple(range(num_qubits)))
+    num_meas += num_qubits
+    for _ in range(int(rng.integers(1, 4))):
+        k = int(rng.integers(1, num_meas + 1))
+        targets = tuple(int(t) for t in rng.choice(num_meas, size=k, replace=False))
+        circ.append("DETECTOR", targets)
+    k = int(rng.integers(1, num_meas + 1))
+    circ.append(
+        "OBSERVABLE_INCLUDE",
+        tuple(int(t) for t in rng.choice(num_meas, size=k, replace=False)),
+        (0,),
+    )
+    circ.validate()
+    return circ
+
+
+def assert_batches_equal(a: SampleBatch, b: SampleBatch) -> None:
+    np.testing.assert_array_equal(a.detectors, b.detectors)
+    np.testing.assert_array_equal(a.observables, b.observables)
+
+
+def rates_compatible(
+    count_a: int, shots_a: int, count_b: int, shots_b: int, bias: float
+) -> bool:
+    """Two-sample z test with an absolute slack for the DEM approximation."""
+    pa, pb = count_a / shots_a, count_b / shots_b
+    se = np.sqrt(pa * (1 - pa) / shots_a + pb * (1 - pb) / shots_b) + 1e-9
+    return abs(pa - pb) <= 5.0 * se + bias
+
+
+class TestPackedDenseBitIdentity:
+    """Packed hot paths must be bit-for-bit the dense reference paths."""
+
+    # 517 shots: exercises the uint64 tail (517 = 8*64 + 5).
+    SHOTS = 517
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_CIRCUITS))
+    def test_frame_simulator(self, seed):
+        circ = random_clifford_noise_circuit(np.random.default_rng(seed))
+        sim = FrameSimulator(circ)
+        packed = sim.sample_packed(self.SHOTS, np.random.default_rng(1000 + seed))
+        dense = sim.sample_dense(self.SHOTS, np.random.default_rng(1000 + seed))
+        assert_batches_equal(packed.to_dense(), dense)
+
+    @pytest.mark.parametrize("seed", range(NUM_RANDOM_CIRCUITS))
+    def test_dem_sampler(self, seed):
+        circ = random_clifford_noise_circuit(np.random.default_rng(seed))
+        sampler = DemSampler(extract_dem(circ))
+        packed = sampler.sample_packed(self.SHOTS, np.random.default_rng(2000 + seed))
+        dense = sampler.sample_dense(self.SHOTS, np.random.default_rng(2000 + seed))
+        assert_batches_equal(packed.to_dense(), dense)
+
+    def test_sample_is_view_of_packed(self):
+        """The public dense API is exactly the unpacked packed batch."""
+        circ = random_clifford_noise_circuit(np.random.default_rng(3))
+        sampler = DemSampler(extract_dem(circ))
+        a = sampler.sample(300, np.random.default_rng(7))
+        b = sampler.sample_packed(300, np.random.default_rng(7)).to_dense()
+        assert_batches_equal(a, b)
+
+    def test_sample_errors_matches_sample(self):
+        """After the sparse-fires fix, sample_errors draws the identical
+        fire pattern as sample for the same RNG state."""
+        circ = random_clifford_noise_circuit(np.random.default_rng(5))
+        sampler = DemSampler(extract_dem(circ))
+        _, via_errors = sampler.sample_errors(400, np.random.default_rng(9))
+        direct = sampler.sample(400, np.random.default_rng(9))
+        assert_batches_equal(via_errors, direct)
+
+
+class TestCrossSimulatorMarginals:
+    """FrameSimulator and DemSampler must tell the same statistical story."""
+
+    SHOTS = 8_000
+    P = 0.01
+    # DEM merges mechanisms under an independence approximation that is
+    # exact to O(p); allow an O(p^2)-scale systematic offset on top of
+    # the sampling-noise z bound.
+    BIAS = 3e-3
+
+    @pytest.mark.parametrize("seed", range(MARGINAL_CIRCUITS))
+    def test_detector_and_observable_marginals(self, seed):
+        circ = random_clifford_noise_circuit(np.random.default_rng(seed), p=self.P)
+        frame = FrameSimulator(circ).sample_packed(
+            self.SHOTS, np.random.default_rng(3000 + seed)
+        )
+        demb = DemSampler(extract_dem(circ)).sample_packed(
+            self.SHOTS, np.random.default_rng(4000 + seed)
+        )
+        assert frame.num_detectors == demb.num_detectors
+        assert frame.num_observables == demb.num_observables
+        f_det, d_det = frame.detector_counts(), demb.detector_counts()
+        for d in range(frame.num_detectors):
+            assert rates_compatible(
+                int(f_det[d]), self.SHOTS, int(d_det[d]), self.SHOTS, self.BIAS
+            ), f"detector {d}: frame {f_det[d]} vs dem {d_det[d]} of {self.SHOTS}"
+        f_obs, d_obs = frame.observable_counts(), demb.observable_counts()
+        for o in range(frame.num_observables):
+            assert rates_compatible(
+                int(f_obs[o]), self.SHOTS, int(d_obs[o]), self.SHOTS, self.BIAS
+            ), f"observable {o}: frame {f_obs[o]} vs dem {d_obs[o]} of {self.SHOTS}"
+
+    def test_noiseless_random_circuit_all_zero(self):
+        circ = random_clifford_noise_circuit(np.random.default_rng(11), p=0.0)
+        batch = FrameSimulator(circ).sample_packed(600, np.random.default_rng(0))
+        assert not batch.detectors.any()
+        assert not batch.observables.any()
+        assert int(batch.detector_counts().sum()) == 0
+
+
+class TestBitBatchRepresentation:
+    """Unit checks of the packing layer itself."""
+
+    def test_pack_unpack_roundtrip_with_tail(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((130, 7)) < 0.3).astype(np.uint8)
+        words = pack_shots(dense)
+        assert words.shape == (7, 3)  # ceil(130/64) == 3
+        np.testing.assert_array_equal(unpack_shots(words, 130), dense)
+
+    def test_counts_match_dense_sums(self):
+        rng = np.random.default_rng(1)
+        dense = SampleBatch(
+            detectors=(rng.random((517, 5)) < 0.2).astype(np.uint8),
+            observables=(rng.random((517, 2)) < 0.4).astype(np.uint8),
+        )
+        packed = BitSampleBatch.from_dense(dense)
+        np.testing.assert_array_equal(
+            packed.detector_counts(), dense.detectors.sum(axis=0)
+        )
+        np.testing.assert_array_equal(
+            packed.observable_counts(), dense.observables.sum(axis=0)
+        )
+
+    @pytest.mark.parametrize("sizes", [(128, 64, 37), (100, 30)])
+    def test_concat(self, sizes):
+        """Word-aligned and unaligned concatenation agree with dense."""
+        rng = np.random.default_rng(2)
+        parts = [
+            SampleBatch(
+                detectors=(rng.random((n, 4)) < 0.3).astype(np.uint8),
+                observables=(rng.random((n, 1)) < 0.3).astype(np.uint8),
+            )
+            for n in sizes
+        ]
+        merged = BitSampleBatch.concat(
+            [BitSampleBatch.from_dense(p) for p in parts]
+        ).to_dense()
+        np.testing.assert_array_equal(
+            merged.detectors, np.vstack([p.detectors for p in parts])
+        )
+        np.testing.assert_array_equal(
+            merged.observables, np.vstack([p.observables for p in parts])
+        )
