@@ -13,7 +13,6 @@ Usage:  python examples/flag_circuits.py
 Runtime: about two minutes.
 """
 
-import numpy as np
 
 from repro.experiments.ablations import run_flags_vs_prophunt
 

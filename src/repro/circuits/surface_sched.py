@@ -17,7 +17,6 @@ logicals and reducing the effective distance (Figure 6).
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..codes.css import CSSCode
 from ..codes.surface import plaquette_neighbors

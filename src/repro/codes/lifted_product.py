@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from .css import CSSCode
-from .groups import Group, RingMatrix, cyclic_group
+from .groups import RingMatrix, cyclic_group
 
 
 def lifted_product(a: RingMatrix, b: RingMatrix, name: str | None = None) -> CSSCode:

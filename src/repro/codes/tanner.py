@@ -18,13 +18,12 @@ checks commute.  The *random* quantum Tanner codes of the paper draw
 
 from __future__ import annotations
 
-import itertools
 
 import numpy as np
 
-from .classical import ClassicalCode, repetition_code
+from .classical import ClassicalCode
 from .css import CSSCode
-from .groups import Group, cyclic_group, dihedral_group
+from .groups import Group
 
 
 def _local_tensor_basis(ca: ClassicalCode, cb: ClassicalCode) -> np.ndarray:

@@ -19,7 +19,7 @@ an evolving schedule during §5.5's application stage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

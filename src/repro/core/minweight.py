@@ -25,7 +25,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import gf2
 from ..codes.distance import min_weight_logical as _isd_search
 from ..maxsat import MaxSatSolver, WCNF
 from .decoding_graph import Subgraph

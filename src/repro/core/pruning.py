@@ -17,10 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .. import gf2
 from ..circuits.schedule import Schedule
 from ..codes.css import CSSCode
-from ..noise.model import NoiseModel
 from ..sim.dem import DetectorErrorModel
 from .ambiguity import is_ambiguous
 from .changes import CandidateChange

@@ -1,4 +1,30 @@
-"""Decoder interface."""
+"""Decoder interface.
+
+Two decode entry points share one contract:
+
+``decode_batch``
+    Dense ``(shots, num_detectors)`` → ``(shots, num_observables)``.
+    The pinned reference implementation — simple, per-shot, and the
+    ground truth the packed path is litmus-tested against.
+
+``decode_batch_packed``
+    :class:`~repro.sim.bitbatch.BitSampleBatch` in, ``BitSampleBatch``
+    out (same detectors, predicted observables) — the production hot
+    path.  The base implementation does **unique-syndrome batching**: at
+    sub-threshold error rates most shots repeat a small set of syndromes
+    (the all-zero syndrome alone is frequently >90% of shots), so shots
+    are grouped by their packed per-shot syndrome words
+    (:func:`~repro.sim.bitbatch.shot_words`), each distinct syndrome is
+    decoded exactly once, and predictions are scattered back into packed
+    observable words.  No dense ``(shots, num_detectors)`` array is ever
+    materialized; the dense minority that does get decoded is the unique
+    syndromes only.
+
+Subclasses override ``_decode_unique_packed`` (or the full packed entry
+point) to consume the deduplicated packed syndromes natively; the
+default falls back to ``decode_batch`` on the unpacked unique rows,
+which is already asymptotically packed — correct for any decoder.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +32,14 @@ import abc
 
 import numpy as np
 
-from ..sim.bitbatch import BitSampleBatch, pack_shots, popcount_words
+from ..gf2.bitmat import unpack_rows
+from ..sim.bitbatch import (
+    BitSampleBatch,
+    num_shot_words,
+    popcount_words,
+    scatter_unique,
+    unique_shot_words,
+)
 from ..sim.dem import DetectorErrorModel
 
 
@@ -28,17 +61,81 @@ class Decoder(abc.ABC):
         predictions = self.decode_batch(detectors)
         return (predictions != observables).any(axis=1)
 
+    # -- packed-native decoding ----------------------------------------------
+
+    def decode_batch_packed(self, batch: BitSampleBatch) -> BitSampleBatch:
+        """Decode a packed batch; returns predictions in packed form.
+
+        The result shares ``batch``'s detector words and carries the
+        predicted observable flips as ``(num_observables, num_words)``
+        packed words.  Bit-identical to running :meth:`decode_batch` on
+        the unpacked syndromes (the property/litmus tests pin this), but
+        decodes each *distinct* syndrome exactly once.
+        """
+        shots = batch.shots
+        num_obs = self.dem.num_observables
+        nwords = num_shot_words(shots)
+        if shots == 0 or num_obs == 0:
+            observables = np.zeros((num_obs, nwords), dtype=np.uint64)
+            return BitSampleBatch(batch.detectors, observables, shots)
+        if self.dem.num_detectors == 0:
+            # Degenerate DEM: every shot shares the (empty) syndrome.
+            # Decode it once and broadcast — note the prediction is not
+            # necessarily zero (an MLE decoder may bet on a flip).
+            pred = self.decode_batch(np.zeros((1, 0), dtype=np.uint8))
+            pred = np.asarray(pred, dtype=np.uint8).reshape(1, num_obs)
+            observables = np.zeros((num_obs, nwords), dtype=np.uint64)
+            full = np.uint64(0xFFFFFFFFFFFFFFFF)
+            tail = shots % 64
+            for o in range(num_obs):
+                if pred[0, o]:
+                    observables[o, :] = full
+                    if tail:
+                        observables[o, -1] = full >> np.uint64(64 - tail)
+            return BitSampleBatch(batch.detectors, observables, shots)
+        unique, inverse = unique_shot_words(batch.shot_syndromes())
+        predictions = self._decode_unique_packed(unique)
+        observables = scatter_unique(predictions, inverse)
+        return BitSampleBatch(batch.detectors, observables, shots)
+
+    def _decode_unique_packed(self, unique: np.ndarray) -> np.ndarray:
+        """Decode deduplicated packed syndrome keys.
+
+        ``unique``: ``(groups, ceil(num_detectors/64))`` uint64 distinct
+        per-shot keys; returns ``(groups, num_observables)`` uint8.  The
+        default unpacks the (small) unique set and defers to
+        :meth:`decode_batch`; subclasses override for fully packed paths.
+        """
+        dense = unpack_rows(unique, self.dem.num_detectors)
+        return np.asarray(self.decode_batch(dense), dtype=np.uint8)
+
+    # -- failure counting ----------------------------------------------------
+
     def count_failures_packed(self, batch: BitSampleBatch) -> int:
         """Number of shots in ``batch`` whose observables are mispredicted.
 
-        Decoding itself still consumes dense syndromes, but the
-        mismatch accounting stays packed: predictions are repacked,
-        XOR-ed with the sampled observable words, OR-reduced across
-        observables, and popcounted — no dense per-shot bookkeeping.
+        Fully packed: predictions come from
+        :meth:`decode_batch_packed`, are XOR-ed against the sampled
+        observable words, OR-reduced across observables, and popcounted.
+        Tail bits are zero on both sides, so the popcount is exact —
+        including for degenerate ``num_detectors == 0`` batches.
         """
         if batch.num_observables == 0:
             return 0
-        predictions = self.decode_batch(batch.detectors_dense())
-        mismatch = pack_shots(predictions) ^ batch.observables
+        predicted = self.decode_batch_packed(batch)
+        mismatch = predicted.observables ^ batch.observables
         failed_any = np.bitwise_or.reduce(mismatch, axis=0)
         return int(popcount_words(failed_any))
+
+    def count_failures_dense(self, batch: BitSampleBatch) -> int:
+        """Dense reference of :meth:`count_failures_packed`.
+
+        Unpacks the whole batch and decodes shot-by-shot through
+        :meth:`decode_batch` — the pre-packed-pipeline behavior, kept as
+        the pinned baseline for cross-checks and benchmarks.
+        """
+        if batch.num_observables == 0:
+            return 0
+        dense = batch.to_dense()
+        predictions = self.decode_batch(dense.detectors)
+        return int((predictions != dense.observables).any(axis=1).sum())

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..gf2.bitmat import BitMatrix
+from ..gf2.bitmat import BitMatrix, unpack_rows
 from ..sim.dem import DetectorErrorModel
 from .base import Decoder
 
@@ -62,13 +62,17 @@ class BpOsdDecoder(Decoder):
             raise ValueError("DEM has a detector with no incident errors")
         row_starts = np.searchsorted(self.edge_row, np.arange(dem.num_detectors))
         self.row_starts = row_starts
-        # Column gathering: edges sorted by column.
+        # Column gathering: edges sorted by column.  Only columns that
+        # actually touch a check get a reduceat segment — a mechanism
+        # with no detector support (e.g. an undetectable logical) would
+        # otherwise shift every later segment and silently corrupt the
+        # variable-node update (or index past the edge list).
         self.col_order = np.argsort(self.edge_col, kind="stable")
         self.col_order_inv = np.argsort(self.col_order, kind="stable")
         self.col_sorted = self.edge_col[self.col_order]
-        self.col_starts = np.searchsorted(
-            self.col_sorted, np.arange(dem.num_errors)
-        )
+        col_counts = np.bincount(self.edge_col, minlength=dem.num_errors)
+        self.cols_present = np.nonzero(col_counts)[0]
+        self.col_starts = np.searchsorted(self.col_sorted, self.cols_present)
         self._h_dense = np.asarray(self.h.todense(), dtype=np.uint8)
         self._cache: dict[bytes, np.ndarray] = {}
         self.bp_batch_size = 128
@@ -119,7 +123,10 @@ class BpOsdDecoder(Decoder):
             check_to_var = scale * sign_target * (1.0 - 2.0 * ext_neg) * ext_min
             # Variable-node update.
             ctv_col = check_to_var[self.col_order]
-            col_sum = np.add.reduceat(ctv_col, self.col_starts, axis=0)
+            col_sum = np.zeros((num_errors, ctv_col.shape[1]), dtype=np.float32)
+            col_sum[self.cols_present] = np.add.reduceat(
+                ctv_col, self.col_starts, axis=0
+            )
             post = self.prior_llr.astype(np.float32)[None, :] + col_sum.T
             var_to_check = prior_edge + col_sum[self.edge_col] - check_to_var
             # Hard decision + convergence; compact out converged shots.
@@ -221,13 +228,15 @@ class BpOsdDecoder(Decoder):
 
     # -- public API ----------------------------------------------------------------
 
-    def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
-        detectors = np.asarray(detectors, dtype=np.uint8)
-        shots = detectors.shape[0]
-        out = np.zeros((shots, self.dem.num_observables), dtype=np.uint8)
+    def _decode_unique_dense(self, unique: np.ndarray) -> np.ndarray:
+        """Decode already-deduplicated dense syndromes, with caching.
 
-        # Deduplicate syndromes (sub-threshold sampling repeats them a lot).
-        unique, inverse = np.unique(detectors, axis=0, return_inverse=True)
+        ``unique``: ``(groups, num_detectors)`` distinct syndromes.
+        Both decode entry points funnel here, so the dense and packed
+        paths share one cache (keyed by dense syndrome bytes) and one
+        BP/OSD pipeline — bit-identical results by construction.
+        """
+        unique = np.asarray(unique, dtype=np.uint8)
         results = np.zeros((unique.shape[0], self.dem.num_observables), dtype=np.uint8)
         to_solve = []
         for i in range(unique.shape[0]):
@@ -249,5 +258,27 @@ class BpOsdDecoder(Decoder):
                 obs = (self.l.dot(e) % 2).astype(np.uint8)
                 results[i] = obs
                 self._cache[unique[i].tobytes()] = obs
-        out = results[inverse]
-        return out
+        return results
+
+    def _decode_unique_packed(self, unique: np.ndarray) -> np.ndarray:
+        # BP+OSD consumes the deduplicated *dense* minority: unpack just
+        # the distinct syndromes (a few rows, not the batch) and reuse
+        # the shared cache + BP/OSD pipeline.
+        return self._decode_unique_dense(
+            unpack_rows(unique, self.dem.num_detectors)
+        )
+
+    def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
+        detectors = np.asarray(detectors, dtype=np.uint8)
+        shots = detectors.shape[0]
+        if self.dem.num_detectors == 0:
+            # No checks: BP trivially converges to the all-zero error
+            # (priors all favor "no flip"), so every prediction is zero.
+            # Without this guard the segment reductions in ``_bp`` choke
+            # on empty row segments.
+            return np.zeros((shots, self.dem.num_observables), dtype=np.uint8)
+
+        # Deduplicate syndromes (sub-threshold sampling repeats them a lot).
+        unique, inverse = np.unique(detectors, axis=0, return_inverse=True)
+        results = self._decode_unique_dense(unique)
+        return results[inverse]

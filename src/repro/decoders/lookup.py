@@ -11,6 +11,7 @@ from itertools import combinations
 
 import numpy as np
 
+from ..gf2.bitmat import pack_rows
 from ..sim.dem import DetectorErrorModel
 from .base import Decoder
 
@@ -55,6 +56,24 @@ class LookupDecoder(Decoder):
                 entry = self.table.get(key)
                 if entry is None or prob > entry[0]:
                     self.table[key] = (prob, obs.tobytes())
+
+        # Packed-key mirror of the table: syndromes re-keyed by their
+        # bit-packed words, so the packed decode path maps per-shot
+        # syndrome keys to observable rows with zero unpacking.
+        self._packed_table: dict[bytes, np.ndarray] = {}
+        for key, (_, obs_bytes) in self.table.items():
+            det = np.frombuffer(key, dtype=np.uint8)
+            pkey = pack_rows(det[None, :]).tobytes()
+            self._packed_table[pkey] = np.frombuffer(obs_bytes, dtype=np.uint8)
+
+    def _decode_unique_packed(self, unique: np.ndarray) -> np.ndarray:
+        """Table lookup keyed directly on the packed syndrome words."""
+        out = np.zeros((unique.shape[0], self.dem.num_observables), dtype=np.uint8)
+        for i, key_row in enumerate(unique):
+            hit = self._packed_table.get(key_row.tobytes())
+            if hit is not None:
+                out[i] = hit
+        return out
 
     def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
         detectors = np.asarray(detectors, dtype=np.uint8)

@@ -6,26 +6,107 @@ perfect matching of the flipped detectors on that graph (with a boundary
 node absorbing odd defects).
 
 Implementation: all-pairs shortest paths (scipy's C Dijkstra) on the
-weighted decoding graph with edge weight ``-log p``; per shot, a small
-complete graph over the flipped detectors plus boundary twins is matched
-with networkx's blossom algorithm.  Decode results are cached by syndrome,
-which at sub-threshold error rates removes most of the blossom calls.
+weighted decoding graph with edge weight ``-log p``; per shot, the
+flipped detectors (plus a boundary that absorbs odd defects) are matched
+at minimum weight.  Small defect sets — the overwhelming majority at
+sub-threshold error rates — are matched by exact enumeration of every
+pairing-with-boundary (there are at most 764 for eight defects), either
+scalar per syndrome or vectorized over whole groups of deduplicated
+syndromes; networkx's blossom algorithm is the fallback for larger sets.
+Decode results are cached by syndrome, and the packed path additionally
+decodes each *distinct* syndrome only once (unique-syndrome batching).
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
+from functools import lru_cache
 
 import networkx as nx
 import numpy as np
 from scipy import sparse
 from scipy.sparse import csgraph
 
+from ..gf2.bitmat import unpack_rows
+from ..sim.bitbatch import (
+    BitSampleBatch,
+    num_shot_words,
+    popcount_words,
+    scatter_unique,
+    shot_words,
+    unique_shot_words,
+)
 from ..sim.dem import DetectorErrorModel
 from .base import Decoder
 
 _BOUNDARY = -1
+
+# Defect sets up to this size are matched by exhaustive enumeration of
+# pairings (9 496 candidates at 10 defects); larger sets fall back to
+# blossom.  Shared by the scalar and vectorized paths so both explore
+# candidates in the same order — ties then break identically and packed
+# decoding stays bit-identical to the dense reference.
+_MAX_ENUM_DEFECTS = 10
+
+# Element budget for one (groups x patterns) enumeration block: ~16 MB
+# of float64 costs, the dominant temporary.
+_ENUM_BLOCK_ELEMS = 2_000_000
+
+
+@lru_cache(maxsize=None)
+def _pairings(k: int) -> tuple[tuple[tuple[tuple[int, int], ...], tuple[int, ...]], ...]:
+    """Every way to match ``k`` defects: ``(pairs, boundary_singles)``.
+
+    Each entry partitions ``range(k)`` into disjoint pairs plus leftover
+    singles (matched to the boundary).  The enumeration order is fixed
+    (smallest element first unmatched, then paired with each later
+    element in index order), which the tie-breaking contract above
+    relies on.
+    """
+
+    def rec(elems: tuple[int, ...]):
+        if not elems:
+            return [((), ())]
+        first, rest = elems[0], elems[1:]
+        out = []
+        for pairs, singles in rec(rest):
+            out.append((pairs, (first, *singles)))
+        for i, partner in enumerate(rest):
+            others = rest[:i] + rest[i + 1 :]
+            for pairs, singles in rec(others):
+                out.append((((first, partner), *pairs), singles))
+        return out
+
+    return tuple(rec(tuple(range(k))))
+
+
+@lru_cache(maxsize=None)
+def _pairing_slots(k: int) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`_pairings` flattened to fixed-width index tensors.
+
+    Each pattern becomes exactly ``k`` slots of column indices ``(i, j)``
+    into an extended defect row ``[d_0 .. d_{k-1}, boundary]``: real
+    pairs first, then singles as ``(s, k)`` (matched to the boundary
+    column), then padding slots ``(0, 0)`` — a defect paired with
+    itself, whose distance ``0.0`` and parity ``0`` are exact no-ops.
+    Slot order mirrors the scalar scan in ``_enum_match``, so both
+    accumulate costs in the same IEEE order and tie-break identically.
+    """
+    patterns = _pairings(k)
+    slots_i = np.zeros((len(patterns), k), dtype=np.int64)
+    slots_j = np.zeros((len(patterns), k), dtype=np.int64)
+    for t, (pairs, singles) in enumerate(patterns):
+        slot = 0
+        for i, j in pairs:
+            slots_i[t, slot] = i
+            slots_j[t, slot] = j
+            slot += 1
+        for s in singles:
+            slots_i[t, slot] = s
+            slots_j[t, slot] = k
+            slot += 1
+        # Remaining slots stay (0, 0): dist[d0, d0] == 0.0.
+    return slots_i, slots_j
 
 
 class MatchingDecoder(Decoder):
@@ -48,8 +129,13 @@ class MatchingDecoder(Decoder):
             detector_subset = list(range(dem.num_detectors))
         self.subset = list(detector_subset)
         self.local_index = {d: i for i, d in enumerate(self.subset)}
+        self._subset_rows = np.asarray(self.subset, dtype=np.int64)
         self._build_graph()
         self._cache: dict[bytes, int] = {}
+        # Packed-path cache, keyed by the packed subset-syndrome words.
+        # Kept separate from the dense byte-key cache: the two key
+        # encodings live in different domains.
+        self._packed_cache: dict[bytes, int] = {}
 
     def _build_graph(self) -> None:
         """Project mechanisms onto the subset and build the weighted graph."""
@@ -115,11 +201,96 @@ class MatchingDecoder(Decoder):
     # -- decoding ------------------------------------------------------------
 
     def _decode_defects(self, defects: tuple[int, ...]) -> int:
-        """MWPM over a defect set; returns predicted observable flip."""
+        """MWPM over a defect set; returns predicted observable flip.
+
+        Sizes one and two have closed forms, sizes up to
+        ``_MAX_ENUM_DEFECTS`` are matched by scanning every pairing in
+        :func:`_pairings` order, and only larger sets reach blossom.
+        """
         if not defects:
             return 0
-        graph = nx.Graph()
         b = self.boundary
+        if len(defects) == 1:
+            return int(self.parity[defects[0], b])
+        if len(defects) == 2:
+            u, v = defects
+            if self.dist[u, v] <= self.dist[u, b] + self.dist[v, b]:
+                return int(self.parity[u, v])
+            return int(self.parity[u, b] ^ self.parity[v, b])
+        if len(defects) <= _MAX_ENUM_DEFECTS:
+            return self._enum_match(defects)
+        return self._blossom_match(defects)
+
+    def _enum_match(self, defects: tuple[int, ...]) -> int:
+        """Exact matching by first-minimum scan over all pairings.
+
+        Mirrors :meth:`_enum_match_group` term for term: candidates in
+        :func:`_pairings` order, costs accumulated pair terms first then
+        boundary terms, strict ``<`` keeping the first minimum — so the
+        scalar and vectorized paths agree bit-for-bit even on ties.
+        """
+        dist, parity, b = self.dist, self.parity, self.boundary
+        best_cost = math.inf
+        best_flip = 0
+        for pairs, singles in _pairings(len(defects)):
+            cost = 0.0
+            flip = 0
+            for i, j in pairs:
+                u, v = defects[i], defects[j]
+                cost += dist[u, v]
+                flip ^= int(parity[u, v])
+            for s in singles:
+                u = defects[s]
+                cost += dist[u, b]
+                flip ^= int(parity[u, b])
+            if cost < best_cost:
+                best_cost = cost
+                best_flip = flip
+        return best_flip
+
+    def _enum_match_group(self, defect_rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_enum_match` over syndromes of equal weight.
+
+        ``defect_rows``: ``(groups, k)`` defect indices (ascending per
+        row).  One gather per candidate term, vectorized across all
+        groups — the packed path's workhorse for the deduplicated
+        syndrome minority.
+        """
+        groups, k = defect_rows.shape
+        slots_i, slots_j = _pairing_slots(k)
+        num_patterns = slots_i.shape[0]
+        # Bound the (block x patterns) work arrays: at k = 10 there are
+        # 9 496 patterns, so an uncapped near-threshold chunk with many
+        # distinct high-weight syndromes would allocate multi-hundred-MB
+        # temporaries.  Blocks are independent (per-row argmin), so
+        # splitting changes nothing.
+        block = max(1, _ENUM_BLOCK_ELEMS // num_patterns)
+        if groups > block:
+            return np.concatenate(
+                [
+                    self._enum_match_group(defect_rows[start : start + block])
+                    for start in range(0, groups, block)
+                ]
+            )
+        # Extended rows: defects plus a trailing boundary column.
+        ext = np.concatenate(
+            [defect_rows, np.full((groups, 1), self.boundary, dtype=np.int64)],
+            axis=1,
+        )
+        costs = np.zeros((groups, num_patterns), dtype=np.float64)
+        flips = np.zeros((groups, num_patterns), dtype=np.uint8)
+        for slot in range(k):
+            u = ext[:, slots_i[:, slot]]  # (groups, num_patterns)
+            v = ext[:, slots_j[:, slot]]
+            costs += self.dist[u, v]
+            flips ^= self.parity[u, v]
+        best = np.argmin(costs, axis=1)  # first minimum, like the scalar scan
+        return flips[np.arange(groups), best]
+
+    def _blossom_match(self, defects: tuple[int, ...]) -> int:
+        """Blossom fallback for large defect sets (boundary-twin trick)."""
+        b = self.boundary
+        graph = nx.Graph()
         for i, u in enumerate(defects):
             # Twin node for boundary matching (negative ids).
             graph.add_edge(u, -u - 1000, weight=float(self.dist[u, b]))
@@ -150,6 +321,84 @@ class MatchingDecoder(Decoder):
                 hit = self._decode_defects(defects)
                 self._cache[key] = hit
             out[i, self.observable] = hit
+        return out
+
+    def decode_batch_packed(self, batch: BitSampleBatch) -> BitSampleBatch:
+        """Packed-native MWPM: dedup on the *subset* syndrome.
+
+        Gathers the subset's packed detector rows, bit-transposes them
+        into per-shot words, and matches each distinct subset syndrome
+        exactly once — defect index lists come straight out of the
+        packed key rows, so the graph side never sees a dense syndrome.
+        Deduplicating on the subset (rather than the full detector set)
+        collapses shots that differ only in other-basis detectors.
+        """
+        shots = batch.shots
+        num_obs = self.dem.num_observables
+        nwords = num_shot_words(shots)
+        observables = np.zeros((num_obs, nwords), dtype=np.uint64)
+        if shots == 0 or num_obs == 0:
+            return BitSampleBatch(batch.detectors, observables, shots)
+        nsub = len(self.subset)
+        sub_rows = (
+            batch.detectors[self._subset_rows]
+            if nsub
+            else np.zeros((0, batch.num_words), dtype=np.uint64)
+        )
+        unique, inverse = unique_shot_words(shot_words(sub_rows, shots))
+        flips = np.zeros((unique.shape[0], 1), dtype=np.uint8)
+        miss_rows: list[int] = []
+        miss_keys: list[bytes] = []
+        for i, key_row in enumerate(unique):
+            key = key_row.tobytes()
+            hit = self._packed_cache.get(key)
+            if hit is None:
+                miss_rows.append(i)
+                miss_keys.append(key)
+            else:
+                flips[i, 0] = hit
+        if miss_rows:
+            decoded = self._decode_unique_keys(unique[miss_rows], nsub)
+            flips[miss_rows, 0] = decoded
+            for key, value in zip(miss_keys, decoded):
+                self._packed_cache[key] = int(value)
+        observables[self.observable] = scatter_unique(flips, inverse)[0]
+        return BitSampleBatch(batch.detectors, observables, shots)
+
+    def _decode_unique_keys(self, keys: np.ndarray, nsub: int) -> np.ndarray:
+        """Match a set of distinct packed subset syndromes, grouped by
+        defect count so each weight class decodes in one vectorized
+        enumeration; only counts past ``_MAX_ENUM_DEFECTS`` fall back to
+        the scalar blossom path."""
+        counts = popcount_words(keys, axis=1)
+        out = np.zeros(keys.shape[0], dtype=np.uint8)
+        b = self.boundary
+        for k in np.unique(counts):
+            sel = np.nonzero(counts == k)[0]
+            if k == 0:
+                continue
+            # np.nonzero is row-major, so each row contributes exactly k
+            # ascending defect indices — reshape recovers per-row lists.
+            dense = unpack_rows(keys[sel], nsub)
+            defect_rows = np.nonzero(dense)[1].reshape(len(sel), int(k))
+            if k == 1:
+                out[sel] = self.parity[defect_rows[:, 0], b]
+            elif k == 2:
+                u, v = defect_rows[:, 0], defect_rows[:, 1]
+                direct = self.dist[u, v]
+                via_boundary = self.dist[u, b] + self.dist[v, b]
+                out[sel] = np.where(
+                    direct <= via_boundary,
+                    self.parity[u, v],
+                    self.parity[u, b] ^ self.parity[v, b],
+                )
+            elif k <= _MAX_ENUM_DEFECTS:
+                out[sel] = self._enum_match_group(defect_rows)
+            else:
+                for row_idx, row in zip(sel, defect_rows):
+                    out[row_idx] = self._blossom_match(
+                        tuple(int(d) for d in row)
+                    )
         return out
 
 

@@ -5,6 +5,14 @@ schedule, basis), apply the noise model, extract the DEM, sample shots,
 decode, and count mispredictions.  The paper's reported logical error
 rates "include both logical X and Z error rates" (§6.1): both memory
 bases are simulated and combined as independent failure modes.
+
+The sample→decode→count loop is packed end to end: chunks are sampled
+bit-packed (:meth:`~repro.sim.sampler.DemSampler.sample_packed`),
+decoded with unique-syndrome batching
+(:meth:`~repro.decoders.base.Decoder.decode_batch_packed`), and
+mispredictions are counted by XOR/popcount
+(:meth:`~repro.decoders.base.Decoder.count_failures_packed`) — no dense
+``(shots, num_detectors)`` array exists anywhere on the hot path.
 """
 
 from __future__ import annotations

@@ -1,6 +1,7 @@
 """One module per paper table/figure; see DESIGN.md for the index."""
 
 from . import (
+    ablations,
     fig01_predictors,
     fig06_schedules,
     fig12_benchmarks,
@@ -29,5 +30,5 @@ __all__ = [
     "shotrunner",
     "table1_codes",
     "table2_models",
+    "ablations",
 ]
-from . import ablations

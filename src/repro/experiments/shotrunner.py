@@ -81,30 +81,38 @@ def spawn_chunk_seeds(
 # the runner stays re-entrant).
 _WORKER_SAMPLER: DemSampler | None = None
 _WORKER_DECODER: Decoder | None = None
+_WORKER_DENSE: bool = False
 
 
-def _init_worker(dem: DetectorErrorModel, basis: str, decoder: str) -> None:
-    global _WORKER_SAMPLER, _WORKER_DECODER
+def _init_worker(
+    dem: DetectorErrorModel, basis: str, decoder: str, dense_reference: bool
+) -> None:
+    global _WORKER_SAMPLER, _WORKER_DECODER, _WORKER_DENSE
     _WORKER_SAMPLER = DemSampler(dem)
     _WORKER_DECODER = make_decoder(dem, basis, decoder)
+    _WORKER_DENSE = dense_reference
 
 
 def _run_chunk_with(
     sampler: DemSampler,
     dec: Decoder,
     job: tuple[int, int, np.random.SeedSequence],
+    dense_reference: bool = False,
 ) -> ChunkResult:
     index, chunk_shots, seed = job
     rng = np.random.default_rng(seed)
     batch = sampler.sample_packed(chunk_shots, rng)
-    failures = dec.count_failures_packed(batch)
+    if dense_reference:
+        failures = dec.count_failures_dense(batch)
+    else:
+        failures = dec.count_failures_packed(batch)
     return ChunkResult(index=index, shots=chunk_shots, failures=failures)
 
 
 def _run_chunk(job: tuple[int, int, np.random.SeedSequence]) -> ChunkResult:
     if _WORKER_SAMPLER is None or _WORKER_DECODER is None:
         raise RuntimeError("worker pool not initialized")
-    return _run_chunk_with(_WORKER_SAMPLER, _WORKER_DECODER, job)
+    return _run_chunk_with(_WORKER_SAMPLER, _WORKER_DECODER, job, _WORKER_DENSE)
 
 
 def run_shot_chunks(
@@ -117,6 +125,7 @@ def run_shot_chunks(
     workers: int = 1,
     max_failures: int | None = None,
     on_chunk: Callable[[ChunkResult], None] | None = None,
+    dense_reference: bool = False,
 ) -> RateEstimate:
     """Sample/decode ``shots`` shots of one DEM in chunks.
 
@@ -124,6 +133,14 @@ def run_shot_chunks(
     caller as they are accumulated.  ``max_failures`` stops after the
     first chunk that pushes the failure count past the cap, applied in
     chunk order, so early stopping is worker-count independent.
+
+    The hot path is fully packed: chunks are sampled packed and decoded
+    through :meth:`~repro.decoders.base.Decoder.decode_batch_packed`
+    (unique-syndrome batching), so no dense ``(shots, num_detectors)``
+    array is ever materialized.  ``dense_reference=True`` routes
+    decoding through the pinned dense path instead
+    (:meth:`~repro.decoders.base.Decoder.count_failures_dense`) — same
+    estimates by construction, kept for cross-checks and benchmarks.
     """
     rng = rng or np.random.default_rng()
     sizes = plan_chunks(shots, chunk_size)
@@ -147,7 +164,7 @@ def run_shot_chunks(
         sampler = DemSampler(dem)
         dec = make_decoder(dem, basis, decoder)
         for job in jobs:
-            if _account(_run_chunk_with(sampler, dec, job)):
+            if _account(_run_chunk_with(sampler, dec, job, dense_reference)):
                 break
     else:
         workers = min(workers, len(jobs), os.cpu_count() or 1)
@@ -160,7 +177,7 @@ def run_shot_chunks(
             max_workers=workers,
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=(dem, basis, decoder),
+            initargs=(dem, basis, decoder, dense_reference),
         )
         try:
             # Keep a bounded in-flight window and consume results strictly

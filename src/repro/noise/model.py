@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass
 
 from ..circuits.circuit import Circuit
-from ..circuits.gates import GATE_ARITY, MEASURE_GATES, NOISE_GATES, Operation
+from ..circuits.gates import GATE_ARITY, MEASURE_GATES, NOISE_GATES
 
 
 @dataclass(frozen=True)

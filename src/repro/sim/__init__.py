@@ -1,6 +1,14 @@
 """Simulation substrate: DEM extraction, sampling, tableau verification."""
 
-from .bitbatch import BitSampleBatch, SampleBatch, pack_shots, unpack_shots
+from .bitbatch import (
+    BitSampleBatch,
+    SampleBatch,
+    pack_shots,
+    scatter_unique,
+    shot_words,
+    unique_shot_words,
+    unpack_shots,
+)
 from .dem import DetectorErrorModel, ErrorMechanism, ErrorSource, extract_dem
 from .frame import FrameSimulator
 from .sampler import DemSampler
@@ -17,6 +25,9 @@ __all__ = [
     "BitSampleBatch",
     "pack_shots",
     "unpack_shots",
+    "shot_words",
+    "unique_shot_words",
+    "scatter_unique",
     "CircuitResult",
     "TableauSimulator",
     "verify_deterministic_detectors",

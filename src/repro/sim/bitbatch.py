@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..gf2.bitmat import pack_rows, unpack_rows
+from ..gf2.bitmat import pack_rows, transpose_words, unpack_rows
 
 _WORD = 64
 
@@ -89,6 +89,79 @@ def xor_accumulate_csr(
         if hi > lo:
             np.bitwise_xor.reduce(source[indices[lo:hi]], axis=0, out=out[r])
     return out
+
+
+def shot_words(words: np.ndarray, shots: int) -> np.ndarray:
+    """Per-shot word view of packed rows: ``(k, ceil(shots/64))`` →
+    ``(shots, ceil(k/64))``.
+
+    Row ``s`` of the result packs the ``k`` bits of shot ``s`` into
+    words — a hashable per-shot key, computed as a blockwise bit
+    transpose (:func:`repro.gf2.bitmat.transpose_words`) so no dense
+    ``(shots, k)`` array is materialized.
+    """
+    return transpose_words(words, shots)
+
+
+def unique_shot_words(per_shot: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Group shots by their packed word key.
+
+    ``per_shot`` is ``(shots, nwords)`` uint64 (one key row per shot, as
+    produced by :func:`shot_words`).  Returns ``(unique, inverse)`` with
+    ``unique`` the distinct key rows and ``inverse[s]`` the group id of
+    shot ``s`` — the unique-syndrome batching core: decode ``unique``
+    once, scatter through ``inverse``.
+    """
+    per_shot = np.ascontiguousarray(per_shot, dtype=np.uint64)
+    if per_shot.ndim != 2:
+        raise ValueError(f"expected (shots, nwords) keys, got shape {per_shot.shape}")
+    shots, nwords = per_shot.shape
+    # Sub-threshold sampling makes the all-zero key the huge majority;
+    # pull those shots out before sorting so the sort cost tracks the
+    # *defective* shots only.  Group order is arbitrary by contract —
+    # callers map results back through ``inverse`` — so reserving group
+    # 0 for the zero key changes nothing downstream.
+    nonzero = per_shot.any(axis=1)
+    nz_idx = np.nonzero(nonzero)[0]
+    has_zero = nz_idx.size < shots
+    offset = 1 if has_zero else 0
+    inverse = np.zeros(shots, dtype=np.int64)
+    if nz_idx.size == 0:
+        return np.zeros((1, nwords), dtype=np.uint64), inverse
+    keys = per_shot[nz_idx]
+    if nwords == 1:
+        unique_nz, inv_nz = np.unique(keys[:, 0], return_inverse=True)
+        unique_nz = unique_nz[:, None]
+        inverse[nz_idx] = inv_nz.ravel() + offset
+    else:
+        # Multi-word keys: lexsort + run boundaries beats np.unique's
+        # void-view row sort by a wide margin.
+        order = np.lexsort(keys.T[::-1])
+        ordered = keys[order]
+        new_group = np.empty(len(ordered), dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (ordered[1:] != ordered[:-1]).any(axis=1)
+        unique_nz = ordered[new_group]
+        inv_sorted = np.cumsum(new_group) - 1
+        inv_nz = np.empty(len(keys), dtype=np.int64)
+        inv_nz[order] = inv_sorted
+        inverse[nz_idx] = inv_nz + offset
+    if not has_zero:
+        return unique_nz, inverse
+    unique = np.vstack([np.zeros((1, nwords), dtype=np.uint64), unique_nz])
+    return unique, inverse
+
+
+def scatter_unique(values: np.ndarray, inverse: np.ndarray) -> np.ndarray:
+    """Scatter per-group rows back into packed per-shot bit rows.
+
+    ``values`` is ``(groups, k)`` uint8 and ``inverse`` maps each shot to
+    its group; the result is ``(k, ceil(shots/64))`` uint64 with bit
+    ``s`` of row ``i`` equal to ``values[inverse[s], i]``.  The dense
+    intermediate is ``(shots, k)`` with ``k`` the number of *observables*
+    — a handful of columns, never the detector count.
+    """
+    return pack_shots(np.ascontiguousarray(values)[inverse])
 
 
 def popcount_words(words: np.ndarray, axis: int | None = None) -> np.ndarray | int:
@@ -156,6 +229,14 @@ class BitSampleBatch:
     def detectors_dense(self) -> np.ndarray:
         """Just the ``(shots, num_detectors)`` uint8 view (decoder input)."""
         return unpack_shots(self.detectors, self.shots)
+
+    def shot_syndromes(self) -> np.ndarray:
+        """Per-shot packed syndrome keys, ``(shots, ceil(num_detectors/64))``.
+
+        The word-hash the packed decoders group shots by; computed by bit
+        transpose, never via a dense ``(shots, num_detectors)`` array.
+        """
+        return shot_words(self.detectors, self.shots)
 
     # -- counting ------------------------------------------------------------
 

@@ -1,6 +1,5 @@
 """Tests for the circuit IR (gates + container)."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import Circuit, Operation

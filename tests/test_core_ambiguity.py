@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.circuits import build_memory_experiment, nz_schedule, poor_schedule
+from repro.circuits import nz_schedule, poor_schedule
 from repro.codes import rotated_surface_code
 from repro.core import (
     DecodingGraph,
-    Subgraph,
     build_maxsat_model,
     find_ambiguous_subgraph,
     is_ambiguous,
@@ -15,7 +14,6 @@ from repro.core import (
     solve_min_weight_logical,
 )
 from repro.decoders.metrics import dem_for
-from repro.maxsat import MaxSatSolver
 from repro.noise import NoiseModel
 
 

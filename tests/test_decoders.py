@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuits import build_memory_experiment, coloration_schedule, nz_schedule
+from repro.circuits import coloration_schedule, nz_schedule
 from repro.codes import load_benchmark_code, rotated_surface_code
 from repro.decoders import (
     BpOsdDecoder,

@@ -1,6 +1,5 @@
 """Tests for the experiment modules (fast configurations)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuits import coloration_schedule, poor_schedule
-from repro.codes import gb18_code, load_benchmark_code, rotated_surface_code
+from repro.codes import gb18_code, rotated_surface_code
 from repro.core import DecodingGraph, PropHunt, PropHuntConfig
 from repro.core.parallel import sample_and_solve
 from repro.decoders import BpOsdDecoder

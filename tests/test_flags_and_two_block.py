@@ -18,7 +18,6 @@ from repro.codes import (
     dihedral_group,
     gb18_code,
     gb24_code,
-    gb_code_cyclic,
     rotated_surface_code,
     two_block_code,
 )

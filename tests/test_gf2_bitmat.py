@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.gf2 import BitMatrix, pack_rows, unpack_rows
+from repro.gf2.bitmat import transpose_words
 
 
 def random_matrix(rng, m, n, density=0.5):
@@ -46,6 +47,41 @@ class TestPacking:
     def test_rejects_non_2d(self):
         with pytest.raises(ValueError):
             pack_rows(np.zeros(5, dtype=np.uint8))
+
+
+class TestTransposeWords:
+    def test_matches_dense_transpose(self):
+        rng = np.random.default_rng(1)
+        for m, n in [(1, 1), (3, 5), (63, 64), (64, 63), (65, 129), (200, 70)]:
+            dense = random_matrix(rng, m, n)
+            got = transpose_words(pack_rows(dense), n)
+            want = pack_rows(np.ascontiguousarray(dense.T))
+            assert got.shape == want.shape
+            assert np.array_equal(got, want), (m, n)
+
+    def test_involution(self):
+        rng = np.random.default_rng(2)
+        dense = random_matrix(rng, 100, 333)
+        packed = pack_rows(dense)
+        assert np.array_equal(
+            transpose_words(transpose_words(packed, 333), 100), packed
+        )
+
+    def test_empty_rows(self):
+        out = transpose_words(np.zeros((0, 2), dtype=np.uint64), 90)
+        assert out.shape == (90, 1)
+        assert not out.any()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            transpose_words(np.zeros(4, dtype=np.uint64), 4)
+
+    @given(dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_property(self, dense):
+        n = dense.shape[1]
+        got = transpose_words(pack_rows(dense), n)
+        assert np.array_equal(got, pack_rows(np.ascontiguousarray(dense.T)))
 
 
 class TestAccessors:

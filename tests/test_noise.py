@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit, build_memory_experiment, nz_schedule
+from repro.circuits import Circuit, nz_schedule
 from repro.codes import rotated_surface_code
 from repro.noise import HARDWARE_IDLE_POINTS, NoiseModel
 

@@ -139,6 +139,42 @@ class TestRunnerDeterminism:
             )
         assert rates[1] == rates[2]
 
+    def test_dense_reference_matches_packed(self, d3_dem):
+        """The packed LER loop and the pinned dense-decode path are the
+        same estimator — identical failure counts, chunk for chunk."""
+        runs = {}
+        for dense in (False, True):
+            est = run_shot_chunks(
+                d3_dem,
+                shots=3000,
+                rng=np.random.default_rng(17),
+                chunk_size=640,
+                dense_reference=dense,
+            )
+            runs[dense] = (est.failures, est.shots)
+        assert runs[False] == runs[True]
+
+    def test_dense_reference_matches_packed_across_workers(self, d3_dem):
+        est_packed = run_shot_chunks(
+            d3_dem,
+            shots=2000,
+            rng=np.random.default_rng(23),
+            chunk_size=512,
+            workers=2,
+        )
+        est_dense = run_shot_chunks(
+            d3_dem,
+            shots=2000,
+            rng=np.random.default_rng(23),
+            chunk_size=512,
+            workers=2,
+            dense_reference=True,
+        )
+        assert (est_packed.failures, est_packed.shots) == (
+            est_dense.failures,
+            est_dense.shots,
+        )
+
     def test_metrics_wrapper_delegates(self, d3_code):
         """The decoders.metrics entry point is the same engine."""
         via_metrics = estimate_logical_error_rate(
