@@ -31,6 +31,7 @@ def test_ablation_flags_vs_prophunt(experiment):
     baseline = rows["poor schedule (baseline)"]
     # Both remedies beat the broken baseline...
     assert rows["prophunt"]["logical_error_rate"] < baseline["logical_error_rate"]
-    assert rows["poor + flag qubits"]["logical_error_rate"] < baseline["logical_error_rate"]
+    flagged = rows["poor + flag qubits"]
+    assert flagged["logical_error_rate"] < baseline["logical_error_rate"]
     # ...but only flags pay in qubits.
     assert rows["poor + flag qubits"]["qubits"] > rows["prophunt"]["qubits"]

@@ -21,5 +21,6 @@ def test_fig15_idle_sensitivity(experiment):
     # shallow circuit (quality dominates depth — the paper's conclusion).
     for strength_rows in zip(*(by_circuit[c] for c in by_circuit)):
         rates = {r["circuit"]: r["logical_error_rate"] for r in strength_rows}
-        if rates.get("good (depth 4)") is not None and strength_rows[0]["idle_strength"] <= 1e-3:
+        good = rates.get("good (depth 4)")
+        if good is not None and strength_rows[0]["idle_strength"] <= 1e-3:
             assert rates["good (depth 4)"] <= rates["poor (depth 4)"] * 1.2

@@ -28,7 +28,10 @@ def main() -> None:
     args = parser.parse_args()
 
     rng = np.random.default_rng(0)
-    print(f"{'code':>12s} {'n':>5s} {'k':>3s} {'coloration':>12s} {'prophunt':>12s} {'gain':>6s}")
+    print(
+        f"{'code':>12s} {'n':>5s} {'k':>3s} "
+        f"{'coloration':>12s} {'prophunt':>12s} {'gain':>6s}"
+    )
     for name in args.codes:
         code = load_benchmark_code(name)
         start = coloration_schedule(code)

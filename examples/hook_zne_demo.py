@@ -33,7 +33,10 @@ def bias_comparison() -> None:
     ds = DistanceScalingZNE(lam=lam)
     hook = HookZNE(lam=lam)
     print(f"DS-ZNE vs Hook-ZNE bias (Lambda={lam}, {shots} shots, {trials} trials)")
-    print(f"{'DS distances':>18s} {'DS bias':>10s} {'Hook distances':>22s} {'Hook bias':>10s}")
+    print(
+        f"{'DS distances':>18s} {'DS bias':>10s} "
+        f"{'Hook distances':>22s} {'Hook bias':>10s}"
+    )
     for ds_set, hook_set in zip(DS_ZNE_DISTANCE_SETS, HOOK_ZNE_DISTANCE_SETS):
         ds_bias = np.mean([ds.run(ds_set, shots, rng).bias for _ in range(trials)])
         hook_bias = np.mean(

@@ -31,8 +31,11 @@ def main() -> None:
     args = parser.parse_args()
 
     code = load_benchmark_code(args.code)
-    print(f"Code: {code.label()}, stabilizer weights "
-          f"{sorted(set(code.stabilizer_weights()['x'] + code.stabilizer_weights()['z']))}")
+    weights = code.stabilizer_weights()
+    print(
+        f"Code: {code.label()}, stabilizer weights "
+        f"{sorted(set(weights['x'] + weights['z']))}"
+    )
 
     start = coloration_schedule(code)
     print(f"Coloration circuit: CNOT depth {start.cnot_depth()}")
@@ -44,7 +47,9 @@ def main() -> None:
     config = PropHuntConfig(
         iterations=args.iterations, samples_per_iteration=args.samples, seed=1
     )
-    print(f"\nRunning PropHunt ({config.iterations} x {config.samples_per_iteration})...")
+    print(
+        f"\nRunning PropHunt ({config.iterations} x {config.samples_per_iteration})..."
+    )
     result = PropHunt(code, config).optimize(start)
     for record in result.history:
         print(
@@ -63,8 +68,12 @@ def main() -> None:
         code, start, p=args.p, shots=args.shots, decoder="bposd", rng=rng
     )
     after = estimate_logical_error_rate(
-        code, result.final_schedule, p=args.p, shots=args.shots,
-        decoder="bposd", rng=rng,
+        code,
+        result.final_schedule,
+        p=args.p,
+        shots=args.shots,
+        decoder="bposd",
+        rng=rng,
     )
     print(f"  coloration : LER = {before.rate:.3e}")
     print(f"  PropHunt   : LER = {after.rate:.3e}")

@@ -13,7 +13,20 @@ See README.md for a narrative quickstart and DESIGN.md for the
 system inventory and per-experiment index.
 """
 
-from . import analysis, circuits, codes, core, decoders, experiments, gf2, maxsat, noise, sim, zne
+from . import (
+    analysis,
+    circuits,
+    codes,
+    core,
+    decoders,
+    experiments,
+    gf2,
+    maxsat,
+    noise,
+    rareevent,
+    sim,
+    zne,
+)
 
 __version__ = "1.0.0"
 
@@ -27,6 +40,7 @@ __all__ = [
     "gf2",
     "maxsat",
     "noise",
+    "rareevent",
     "sim",
     "zne",
     "__version__",

@@ -6,7 +6,9 @@ from .stats import (
     fit_suppression_factor,
     lambda_factor,
     projected_logical_rate,
+    rule_of_three_upper,
     wilson_interval,
+    z_for_confidence,
 )
 
 __all__ = [
@@ -16,5 +18,7 @@ __all__ = [
     "fit_suppression_factor",
     "lambda_factor",
     "projected_logical_rate",
+    "rule_of_three_upper",
     "wilson_interval",
+    "z_for_confidence",
 ]

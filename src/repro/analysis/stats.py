@@ -3,44 +3,123 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+from scipy.special import ndtri
+
+DEFAULT_CONFIDENCE = 0.95
+
+
+def z_for_confidence(confidence: float) -> float:
+    """Two-sided normal quantile for a confidence level (0.95 -> 1.96)."""
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence {confidence} outside (0, 1)")
+    return float(ndtri(0.5 + confidence / 2.0))
 
 
 def wilson_interval(
-    failures: int, shots: int, z: float = 1.96
+    failures: int,
+    shots: int,
+    z: float | None = None,
+    confidence: float = DEFAULT_CONFIDENCE,
 ) -> tuple[float, float]:
-    """Wilson score interval for a binomial proportion."""
+    """Wilson score interval for a binomial proportion.
+
+    ``z`` overrides ``confidence`` when given (kept for callers that
+    already hold a quantile); by default the bound follows the
+    requested two-sided confidence level.
+    """
+    if z is None:
+        z = z_for_confidence(confidence)
     if shots == 0:
         return (0.0, 1.0)
     phat = failures / shots
     denom = 1 + z * z / shots
     center = (phat + z * z / (2 * shots)) / denom
     half = (
-        z
-        * math.sqrt(phat * (1 - phat) / shots + z * z / (4 * shots * shots))
-        / denom
+        z * math.sqrt(phat * (1 - phat) / shots + z * z / (4 * shots * shots)) / denom
     )
     return (max(0.0, center - half), min(1.0, center + half))
 
 
+def rule_of_three_upper(shots: int, confidence: float = DEFAULT_CONFIDENCE) -> float:
+    """Upper confidence bound on a rate after observing zero failures.
+
+    Exact Clopper-Pearson form ``1 - (1 - confidence)**(1/shots)``; at
+    95% this is the classic "rule of three" ``~3/shots``.  Empty strata
+    in the rare-event estimator use this as their contribution to the
+    upper interval edge.
+    """
+    if shots <= 0:
+        return 1.0
+    return 1.0 - (1.0 - confidence) ** (1.0 / shots)
+
+
 @dataclass(frozen=True)
 class RateEstimate:
-    """A binomial rate with its sampling context."""
+    """A binomial rate with its sampling context.
+
+    ``failures``/``shots`` are the raw counts.  Derived estimates (a
+    combination of independent experiments, or a stratified estimator's
+    output) set ``point``/``halfwidth`` explicitly: ``rate`` then
+    reports the stored point and ``interval`` the stored normal-theory
+    interval instead of the Wilson interval of the raw counts.
+    """
 
     failures: int
     shots: int
+    confidence: float = DEFAULT_CONFIDENCE
+    point: float | None = None
+    halfwidth: float | None = None
 
     @property
     def rate(self) -> float:
+        if self.point is not None:
+            return self.point
         return self.failures / self.shots if self.shots else 0.0
 
     @property
     def interval(self) -> tuple[float, float]:
-        return wilson_interval(self.failures, self.shots)
+        if self.point is not None and self.halfwidth is not None:
+            return (
+                max(0.0, self.point - self.halfwidth),
+                min(1.0, self.point + self.halfwidth),
+            )
+        return wilson_interval(self.failures, self.shots, confidence=self.confidence)
 
-    def combine_with(self, other: "RateEstimate") -> float:
-        """Failure-anywhere rate of two independent experiments."""
-        return 1.0 - (1.0 - self.rate) * (1.0 - other.rate)
+    def with_confidence(self, confidence: float) -> "RateEstimate":
+        """Same counts, re-reported at a different confidence level."""
+        if self.halfwidth is not None:
+            z_old = z_for_confidence(self.confidence)
+            z_new = z_for_confidence(confidence)
+            return replace(
+                self,
+                confidence=confidence,
+                halfwidth=self.halfwidth * z_new / z_old,
+            )
+        return replace(self, confidence=confidence)
+
+    def combine_with(self, other: "RateEstimate") -> "RateEstimate":
+        """Failure-anywhere estimate of two independent experiments.
+
+        The point is ``1 - (1-r1)(1-r2)``; the interval halfwidth comes
+        from first-order error propagation of the two inputs' interval
+        halfwidths.  Counts are carried along for reporting: failures
+        add, shots follow the smaller experiment (the binding sample
+        size, matching ``LogicalErrorRate.shots``).
+        """
+        r1, r2 = self.rate, other.rate
+        lo1, hi1 = self.interval
+        lo2, hi2 = other.interval
+        hw1 = (hi1 - lo1) / 2.0
+        hw2 = (hi2 - lo2) / 2.0
+        return RateEstimate(
+            failures=self.failures + other.failures,
+            shots=min(self.shots, other.shots),
+            confidence=self.confidence,
+            point=1.0 - (1.0 - r1) * (1.0 - r2),
+            halfwidth=math.hypot((1.0 - r2) * hw1, (1.0 - r1) * hw2),
+        )
 
     def __repr__(self) -> str:
         lo, hi = self.interval

@@ -97,7 +97,9 @@ def build_memory_experiment(
     for r in range(rounds):
         # Reset layer: ancillas every round; data only in round 0.
         if r == 0:
-            circuit.append("R" if basis == "z" else "RX", range(n), label=("data_init",))
+            circuit.append(
+                "R" if basis == "z" else "RX", range(n), label=("data_init",)
+            )
         for a in x_ancillas + z_ancillas:
             circuit.append("R", [a], label=("anc_reset", r))
         circuit.tick()

@@ -117,13 +117,17 @@ def build_flagged_memory_experiment(
 
     for r in range(rounds):
         if r == 0:
-            circuit.append("R" if basis == "z" else "RX", range(n), label=("data_init",))
+            circuit.append(
+                "R" if basis == "z" else "RX", range(n), label=("data_init",)
+            )
         for a in x_ancillas + z_ancillas:
             circuit.append("R", [a], label=("anc_reset", r))
         # Flags: X-check flags start in |0>, Z-check flags in |+>.
         for (kind, s), _ in flag_of.items():
             gate = "R" if kind == "x" else "RX"
-            circuit.append(gate, [flag_qubit(kind, s)], label=("flag_reset", kind, s, r))
+            circuit.append(
+                gate, [flag_qubit(kind, s)], label=("flag_reset", kind, s, r)
+            )
         circuit.tick()
 
         for s, a in enumerate(x_ancillas):
@@ -167,7 +171,9 @@ def build_flagged_memory_experiment(
                 label = (r, kind, s)
                 if r == 0:
                     if kind == basis:
-                        circuit.append("DETECTOR", [meas_index[(0, kind, s)]], label=label)
+                        circuit.append(
+                            "DETECTOR", [meas_index[(0, kind, s)]], label=label
+                        )
                         detector_labels.append(label)
                 else:
                     circuit.append(

@@ -200,7 +200,9 @@ class Schedule:
         order.remove(move)
         order.insert(order.index(before), move)
 
-    def swap_relative_order(self, qubit: int, s1: tuple[str, int], s2: tuple[str, int]) -> None:
+    def swap_relative_order(
+        self, qubit: int, s1: tuple[str, int], s2: tuple[str, int]
+    ) -> None:
         """Rescheduling change: swap s1 and s2 in ``qubit``'s relative order.
 
         Mirrors §5.3.2 / Figure 11: flipping the direction of the edge

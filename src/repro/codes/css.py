@@ -151,18 +151,26 @@ class CSSCode:
     def data_qubit_z_stabs(self, q: int) -> list[int]:
         return [int(s) for s in np.nonzero(self.hz[:, q])[0]]
 
-    def syndrome(self, x_errors: np.ndarray, z_errors: np.ndarray) -> dict[str, np.ndarray]:
+    def syndrome(
+        self, x_errors: np.ndarray, z_errors: np.ndarray
+    ) -> dict[str, np.ndarray]:
         """Code-level syndromes s_x = hx @ e_z, s_z = hz @ e_x (§2.3)."""
+        e_z = np.asarray(z_errors, dtype=np.uint8).reshape(-1, 1)
+        e_x = np.asarray(x_errors, dtype=np.uint8).reshape(-1, 1)
         return {
-            "x": gf2.matmul(self.hx, np.asarray(z_errors, dtype=np.uint8).reshape(-1, 1)).ravel(),
-            "z": gf2.matmul(self.hz, np.asarray(x_errors, dtype=np.uint8).reshape(-1, 1)).ravel(),
+            "x": gf2.matmul(self.hx, e_z).ravel(),
+            "z": gf2.matmul(self.hz, e_x).ravel(),
         }
 
-    def logical_effect(self, x_errors: np.ndarray, z_errors: np.ndarray) -> dict[str, np.ndarray]:
+    def logical_effect(
+        self, x_errors: np.ndarray, z_errors: np.ndarray
+    ) -> dict[str, np.ndarray]:
         """Logical flips l_z = lx @ e_z, l_x = lz @ e_x (§2.4)."""
+        e_z = np.asarray(z_errors, dtype=np.uint8).reshape(-1, 1)
+        e_x = np.asarray(x_errors, dtype=np.uint8).reshape(-1, 1)
         return {
-            "z": gf2.matmul(self.lx, np.asarray(z_errors, dtype=np.uint8).reshape(-1, 1)).ravel(),
-            "x": gf2.matmul(self.lz, np.asarray(x_errors, dtype=np.uint8).reshape(-1, 1)).ravel(),
+            "z": gf2.matmul(self.lx, e_z).ravel(),
+            "x": gf2.matmul(self.lz, e_x).ravel(),
         }
 
     def label(self) -> str:

@@ -108,11 +108,17 @@ def estimate_distance(
     """Upper-bound estimate of the code distance min(d_X, d_Z)."""
     rng = rng or np.random.default_rng()
     dx = min_weight_logical(
-        code.hz, code.lz, iterations=iterations, rng=rng,
+        code.hz,
+        code.lz,
+        iterations=iterations,
+        rng=rng,
         early_stop_weight=code.distance,
     )
     dz = min_weight_logical(
-        code.hx, code.lx, iterations=iterations, rng=rng,
+        code.hx,
+        code.lx,
+        iterations=iterations,
+        rng=rng,
         early_stop_weight=code.distance,
     )
     return int(min(dx.weight, dz.weight))

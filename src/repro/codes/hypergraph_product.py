@@ -19,17 +19,25 @@ from .classical import ClassicalCode
 from .css import CSSCode
 
 
-def hypergraph_product(c1: ClassicalCode, c2: ClassicalCode, name: str | None = None) -> CSSCode:
+def hypergraph_product(
+    c1: ClassicalCode, c2: ClassicalCode, name: str | None = None
+) -> CSSCode:
     h1 = c1.check_matrix
     h2 = c2.check_matrix
     m1, n1 = h1.shape
     m2, n2 = h2.shape
     hx = np.concatenate(
-        [np.kron(h1, np.eye(n2, dtype=np.uint8)), np.kron(np.eye(m1, dtype=np.uint8), h2.T)],
+        [
+            np.kron(h1, np.eye(n2, dtype=np.uint8)),
+            np.kron(np.eye(m1, dtype=np.uint8), h2.T),
+        ],
         axis=1,
     )
     hz = np.concatenate(
-        [np.kron(np.eye(n1, dtype=np.uint8), h2), np.kron(h1.T, np.eye(m2, dtype=np.uint8))],
+        [
+            np.kron(np.eye(n1, dtype=np.uint8), h2),
+            np.kron(h1.T, np.eye(m2, dtype=np.uint8)),
+        ],
         axis=1,
     )
     return CSSCode(

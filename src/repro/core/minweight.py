@@ -138,7 +138,7 @@ def _solve_isd(
     return LogicalErrorSolution(result.weight, cols, "isd")
 
 
-# -- MaxSAT solver (paper formulation) --------------------------------------------------
+# -- MaxSAT solver (paper formulation) --------------------------------------
 
 
 def build_maxsat_model(h: np.ndarray, l_mat: np.ndarray) -> WCNF:
@@ -184,7 +184,7 @@ def _solve_maxsat(
     )
 
 
-# -- dispatcher -------------------------------------------------------------------------
+# -- dispatcher -------------------------------------------------------------
 
 
 def solve_min_weight_logical(

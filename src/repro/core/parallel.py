@@ -77,5 +77,7 @@ def sample_and_solve(
     with ProcessPoolExecutor(
         max_workers=workers, initializer=_init_worker, initargs=(graph,)
     ) as pool:
-        results = list(pool.map(_sample_one, jobs, chunksize=max(1, samples // (4 * workers))))
+        results = list(
+            pool.map(_sample_one, jobs, chunksize=max(1, samples // (4 * workers)))
+        )
     return [r for r in results if r is not None]

@@ -37,7 +37,9 @@ class PruneOutcome:
 
     @property
     def verified(self) -> bool:
-        return self.valid_circuit and self.removes_ambiguity and self.breaks_logical_error
+        return (
+            self.valid_circuit and self.removes_ambiguity and self.breaks_logical_error
+        )
 
 
 def _transport_logical_error(

@@ -19,7 +19,12 @@ from .base import Decoder
 class LookupDecoder(Decoder):
     """Exact MLE over all error subsets (DEMs with <= ``max_errors``)."""
 
-    def __init__(self, dem: DetectorErrorModel, max_errors: int = 18, max_weight: int | None = None):
+    def __init__(
+        self,
+        dem: DetectorErrorModel,
+        max_errors: int = 18,
+        max_weight: int | None = None,
+    ):
         super().__init__(dem)
         if dem.num_errors > max_errors and max_weight is None:
             raise ValueError(

@@ -54,7 +54,9 @@ _ENUM_BLOCK_ELEMS = 2_000_000
 
 
 @lru_cache(maxsize=None)
-def _pairings(k: int) -> tuple[tuple[tuple[tuple[int, int], ...], tuple[int, ...]], ...]:
+def _pairings(
+    k: int,
+) -> tuple[tuple[tuple[tuple[int, int], ...], tuple[int, ...]], ...]:
     """Every way to match ``k`` defects: ``(pairs, boundary_singles)``.
 
     Each entry partitions ``range(k)`` into disjoint pairs plus leftover

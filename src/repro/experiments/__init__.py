@@ -6,6 +6,7 @@ from . import (
     fig06_schedules,
     fig12_benchmarks,
     fig13_random_starts,
+    fig14_lowp,
     fig14_scaling,
     fig15_idle,
     fig16_zne,
@@ -14,16 +15,22 @@ from . import (
     table2_models,
 )
 from .common import ExperimentResult
-from .shotrunner import estimate_logical_error_rate_chunked, run_shot_chunks
+from .shotrunner import (
+    estimate_logical_error_rate_chunked,
+    run_shot_chunks,
+    run_stratified_chunks,
+)
 
 __all__ = [
     "ExperimentResult",
     "estimate_logical_error_rate_chunked",
     "run_shot_chunks",
+    "run_stratified_chunks",
     "fig01_predictors",
     "fig06_schedules",
     "fig12_benchmarks",
     "fig13_random_starts",
+    "fig14_lowp",
     "fig14_scaling",
     "fig15_idle",
     "fig16_zne",

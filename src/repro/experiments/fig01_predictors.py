@@ -35,7 +35,9 @@ def run(
         "nz (hand, depth-min)": nz_schedule(code),
         "poor (depth-min)": poor_schedule(code),
         "coloration": coloration_schedule(code),
-        "coloration (random)": coloration_schedule(code, np.random.default_rng(seed + 1)),
+        "coloration (random)": coloration_schedule(
+            code, np.random.default_rng(seed + 1)
+        ),
     }
     result = ExperimentResult(
         name=f"Figure 1: predictors vs LER, [[{code.n},1,{d}]] surface, p={p:g}",

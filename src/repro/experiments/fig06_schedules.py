@@ -29,7 +29,10 @@ def run(
     result = ExperimentResult(
         name=f"Figure 6: schedule quality, d={d} surface code",
     )
-    for name, sched in (("good (N-Z)", nz_schedule(code)), ("poor", poor_schedule(code))):
+    for name, sched in (
+        ("good (N-Z)", nz_schedule(code)),
+        ("poor", poor_schedule(code)),
+    ):
         deff = estimate_effective_distance(code, sched, samples=24, rng=rng)
         for p in p_values:
             ler = estimate_logical_error_rate(

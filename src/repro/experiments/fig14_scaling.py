@@ -38,7 +38,9 @@ def run(
     for name in codes:
         code = load_benchmark_code(name)
         schedule = (
-            nz_schedule(code) if name.startswith("surface") else coloration_schedule(code)
+            nz_schedule(code)
+            if name.startswith("surface")
+            else coloration_schedule(code)
         )
         dem = dem_for(code, schedule, noise, basis="z", rounds=rounds)
         graph = DecodingGraph(dem)

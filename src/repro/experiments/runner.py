@@ -23,6 +23,7 @@ from . import (
     fig06_schedules,
     fig12_benchmarks,
     fig13_random_starts,
+    fig14_lowp,
     fig14_scaling,
     fig15_idle,
     fig16_zne,
@@ -88,7 +89,9 @@ EXPERIMENTS = {
         )
     ],
     "table2": lambda opts: [
-        table2_models.run(global_timeout=60.0 if opts.full else (2.0 if opts.smoke else 5.0))
+        table2_models.run(
+            global_timeout=60.0 if opts.full else (2.0 if opts.smoke else 5.0)
+        )
     ],
     "fig14": lambda opts: [
         fig14_scaling.run(
@@ -96,6 +99,16 @@ EXPERIMENTS = {
             codes=("surface_d3", "surface_d5", "surface_d7", "rqt60")
             if opts.full
             else ("surface_d3", "surface_d5", "rqt60"),
+        )
+    ],
+    "fig14lowp": lambda opts: [
+        fig14_lowp.run(
+            direct_shots=_scale(opts, 2_000, 60_000, 200_000),
+            max_strat_shots=_scale(opts, 20_000, 500_000, 2_000_000),
+            target_rel_halfwidth=0.3 if opts.smoke else 0.12,
+            deep_p=(1e-3,) if opts.smoke else (1e-3, 5e-4),
+            deep=opts.rare_event or opts.full,
+            workers=opts.workers,
         )
     ],
     "fig15": lambda opts: [
@@ -110,6 +123,8 @@ ALIASES = {
     "figure12": "fig12",
     "figure13": "fig13",
     "figure14": "fig14",
+    "figure14x": "fig14lowp",
+    "fig14x": "fig14lowp",
     "figure15": "fig15",
     "figure16": "fig16",
 }
@@ -137,6 +152,12 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         help="processes for the chunked shot runner (1 = inline)",
+    )
+    parser.add_argument(
+        "--rare-event",
+        action="store_true",
+        help="extend LER experiments below direct-MC reach with the "
+        "weight-stratified estimator (fig14lowp deep rows)",
     )
     args = parser.parse_args(argv)
 

@@ -28,11 +28,14 @@ import numpy as np
 from ..analysis.stats import RateEstimate
 from ..decoders.base import Decoder
 from ..decoders.metrics import LogicalErrorRate, MemoryResult, dem_for, make_decoder
+from ..gf2.bitmat import unpack_rows
 from ..noise.model import NoiseModel
+from ..rareevent.sampler import WeightStratifiedSampler
+from ..sim.bitbatch import WORD_BITS
 from ..sim.dem import DetectorErrorModel
 from ..sim.sampler import DemSampler
 
-_ALIGN = 64
+_ALIGN = WORD_BITS
 
 
 @dataclass(frozen=True)
@@ -202,6 +205,206 @@ def run_shot_chunks(
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
     return RateEstimate(failures, done)
+
+
+# -- stratified (rare-event) chunk running ----------------------------------
+#
+# Same chunking/seeding discipline as run_shot_chunks, but each chunk
+# draws shots *conditioned on a fixed error weight* through
+# repro.rareevent.sampler.  There is no early stopping and accumulation
+# is a per-stratum sum, so the outcome is a pure function of the seed
+# root for any worker count.
+
+
+@dataclass(frozen=True)
+class StratumChunkResult:
+    """Outcome of one chunk of fixed-weight shots."""
+
+    index: int
+    weight: int
+    shots: int
+    failures: int
+    # Importance-weighted failure sums (equal to `failures` in
+    # proportional mode, where every weight is exactly 1).
+    weighted_failures: float
+    weighted_sq: float
+
+
+@dataclass
+class StratumTally:
+    """Accumulated counts for one stratum across chunks and rounds."""
+
+    weight: int
+    shots: int = 0
+    failures: int = 0
+    weighted_failures: float = 0.0
+    weighted_sq: float = 0.0
+
+    def add(self, result: StratumChunkResult) -> None:
+        self.shots += result.shots
+        self.failures += result.failures
+        self.weighted_failures += result.weighted_failures
+        self.weighted_sq += result.weighted_sq
+
+
+_STRAT_SAMPLER: WeightStratifiedSampler | None = None
+_STRAT_DECODER: Decoder | None = None
+_STRAT_MODE: str = "proportional"
+
+
+def _init_stratified_worker(
+    dem: DetectorErrorModel, basis: str, decoder: str, max_weight: int, mode: str
+) -> None:
+    global _STRAT_SAMPLER, _STRAT_DECODER, _STRAT_MODE
+    _STRAT_SAMPLER = WeightStratifiedSampler(dem, max_weight=max_weight)
+    _STRAT_DECODER = make_decoder(dem, basis, decoder)
+    _STRAT_MODE = mode
+
+
+def _run_stratified_chunk_with(
+    sampler: WeightStratifiedSampler,
+    dec: Decoder,
+    job: tuple[int, int, int, np.random.SeedSequence],
+    mode: str,
+) -> StratumChunkResult:
+    index, weight, chunk_shots, seed = job
+    rng = np.random.default_rng(seed)
+    if mode == "proportional":
+        batch = sampler.sample_at_weight(weight, chunk_shots, rng)
+        failures = dec.count_failures_packed(batch)
+        return StratumChunkResult(
+            index=index,
+            weight=weight,
+            shots=chunk_shots,
+            failures=failures,
+            weighted_failures=float(failures),
+            weighted_sq=float(failures),
+        )
+    batch, log_w = sampler.sample_at_weight_with_log_weights(
+        weight, chunk_shots, rng, mode=mode
+    )
+    predicted = dec.decode_batch_packed(batch)
+    mismatch = predicted.observables ^ batch.observables
+    failed_words = np.bitwise_or.reduce(mismatch, axis=0)
+    mask = unpack_rows(failed_words[None, :], chunk_shots)[0].astype(bool)
+    weighted = np.exp(log_w[mask])
+    return StratumChunkResult(
+        index=index,
+        weight=weight,
+        shots=chunk_shots,
+        failures=int(mask.sum()),
+        weighted_failures=float(weighted.sum()),
+        weighted_sq=float((weighted * weighted).sum()),
+    )
+
+
+def _run_stratified_chunk(
+    job: tuple[int, int, int, np.random.SeedSequence],
+) -> StratumChunkResult:
+    if _STRAT_SAMPLER is None or _STRAT_DECODER is None:
+        raise RuntimeError("stratified worker pool not initialized")
+    return _run_stratified_chunk_with(_STRAT_SAMPLER, _STRAT_DECODER, job, _STRAT_MODE)
+
+
+def make_stratified_pool(
+    dem: DetectorErrorModel,
+    basis: str,
+    decoder: str,
+    max_weight: int,
+    mode: str,
+    workers: int,
+) -> ProcessPoolExecutor:
+    """A worker pool pre-compiled for stratified chunk jobs.
+
+    Callers running many allocation rounds against one DEM (the
+    adaptive estimator) create this once and pass it to every
+    :func:`run_stratified_chunks` call, so the per-worker sampler and
+    decoder compile once instead of once per round.  The caller owns
+    shutdown.
+    """
+    workers = min(workers, os.cpu_count() or 1)
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=ctx,
+        initializer=_init_stratified_worker,
+        initargs=(dem, basis, decoder, max_weight, mode),
+    )
+
+
+def run_stratified_chunks(
+    dem: DetectorErrorModel,
+    allocations: list[tuple[int, int]],
+    basis: str = "z",
+    decoder: str = "auto",
+    rng: np.random.Generator | None = None,
+    chunk_size: int = 5_000,
+    workers: int = 1,
+    mode: str = "proportional",
+    max_weight: int | None = None,
+    on_chunk: Callable[[StratumChunkResult], None] | None = None,
+    sampler: WeightStratifiedSampler | None = None,
+    dec: Decoder | None = None,
+    pool: ProcessPoolExecutor | None = None,
+) -> dict[int, StratumTally]:
+    """Sample/decode fixed-weight shots for several strata in chunks.
+
+    ``allocations`` is ``[(weight, shots), ...]``.  Each chunk draws its
+    shots conditioned on the stratum's weight
+    (:class:`~repro.rareevent.sampler.WeightStratifiedSampler`) and
+    counts failures through the packed decode path.  Chunk seeds are
+    spawned from ``rng``'s root in a fixed global order and accumulation
+    is a per-stratum sum, so results are worker-count independent —
+    the same contract as :func:`run_shot_chunks`.
+
+    ``sampler``/``dec`` let a caller running many rounds (the adaptive
+    estimator) reuse its compiled tables and decoder on the inline
+    path; ``pool`` (from :func:`make_stratified_pool`) is the same
+    reuse for the process fan-out — when given, it overrides
+    ``workers`` and the caller owns its shutdown.
+    """
+    rng = rng or np.random.default_rng()
+    jobs: list[tuple[int, int, int, np.random.SeedSequence]] = []
+    tallies: dict[int, StratumTally] = {}
+    pending_sizes: list[tuple[int, int]] = []
+    for weight, shots in allocations:
+        tallies.setdefault(weight, StratumTally(weight=weight))
+        for size in plan_chunks(shots, chunk_size):
+            pending_sizes.append((weight, size))
+    seeds = spawn_chunk_seeds(rng, len(pending_sizes))
+    for i, ((weight, size), seed) in enumerate(zip(pending_sizes, seeds)):
+        jobs.append((i, weight, size, seed))
+    if not jobs:
+        return tallies
+    table_weight = max_weight if max_weight is not None else max(t for t in tallies)
+
+    def _account(result: StratumChunkResult) -> None:
+        tallies[result.weight].add(result)
+        if on_chunk is not None:
+            on_chunk(result)
+
+    if pool is not None:
+        for result in pool.map(_run_stratified_chunk, jobs):
+            _account(result)
+    elif workers <= 1:
+        if sampler is None or sampler.max_weight < table_weight:
+            sampler = WeightStratifiedSampler(dem, max_weight=table_weight)
+        if dec is None:
+            dec = make_decoder(dem, basis, decoder)
+        for job in jobs:
+            _account(_run_stratified_chunk_with(sampler, dec, job, mode))
+    else:
+        workers = min(workers, len(jobs), os.cpu_count() or 1)
+        own_pool = make_stratified_pool(
+            dem, basis, decoder, table_weight, mode, workers
+        )
+        try:
+            for result in own_pool.map(_run_stratified_chunk, jobs):
+                _account(result)
+        finally:
+            own_pool.shutdown(wait=True, cancel_futures=True)
+    return tallies
 
 
 def estimate_logical_error_rate_chunked(

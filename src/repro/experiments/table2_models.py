@@ -79,7 +79,9 @@ def run(
         wcnf_sub = build_maxsat_model(sub.h, sub.l)
         stats = wcnf_sub.stats()
         if solve_subgraph:
-            solution = solve_min_weight_logical(sub, rng, method="maxsat", maxsat_timeout=global_timeout * 4)
+            solution = solve_min_weight_logical(
+                sub, rng, method="maxsat", maxsat_timeout=global_timeout * 4
+            )
             elapsed = solution.solve_time if solution else float("nan")
             status = "optimal" if solution else "failed"
         else:

@@ -1,0 +1,41 @@
+"""Rare-event logical-error-rate estimation by weight stratification.
+
+Direct Monte Carlo cannot resolve logical error rates below roughly
+one over the shot count — the deep sub-threshold regime the paper's
+scaling claims live in.  This package estimates
+
+    ``P_L = sum_k P(W = k) * P(fail | W = k)``
+
+by computing the exact Poisson-binomial weight distribution of the
+DEM's error mechanisms (:mod:`.weights`), sampling errors *conditioned
+on each Hamming weight* into packed batches that reuse the bit-packed
+decode pipeline unchanged (:mod:`.sampler`), choosing which weights to
+sample versus bound analytically (:mod:`.planner`), and combining the
+per-stratum conditional failure rates with adaptive shot allocation
+and honest intervals (:mod:`.estimator`).
+
+Entry point: :func:`estimate_ler_stratified`.  The chunked, parallel,
+seed-disciplined execution lives with the other shot loops in
+:mod:`repro.experiments.shotrunner`.
+"""
+
+from .estimator import (
+    StratifiedEstimate,
+    StratumEstimate,
+    estimate_ler_stratified,
+)
+from .planner import Stratum, StratumPlan, plan_strata
+from .sampler import WeightStratifiedSampler
+from .weights import WeightDistribution, log_weight_distribution
+
+__all__ = [
+    "StratifiedEstimate",
+    "StratumEstimate",
+    "estimate_ler_stratified",
+    "Stratum",
+    "StratumPlan",
+    "plan_strata",
+    "WeightStratifiedSampler",
+    "WeightDistribution",
+    "log_weight_distribution",
+]

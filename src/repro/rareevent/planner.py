@@ -1,0 +1,148 @@
+"""Stratum planning: which error weights to sample, which to bound.
+
+The planner splits a DEM's weight axis into
+
+* weight 0 — deterministic (the all-zero syndrome is decoded once);
+* weights below ``min_failure_weight`` — *assumed-zero* strata: the
+  caller asserts the decoder corrects them (e.g. weight < ceil(d/2)
+  for a distance-d code under matching), so they contribute nothing to
+  the estimate; the estimator still audits them with a small shot
+  allocation and promotes them to sampled strata if a failure ever
+  shows up;
+* weights ``min_failure_weight..max_weight`` — sampled strata;
+* weights above ``max_weight`` — bounded analytically: the exact
+  truncated mass ``P(W > max_weight)`` is added to the upper interval
+  edge with failure probability conservatively taken as 1.
+
+``max_weight`` is grown until that analytic bound is negligible next
+to the mass of the strata actually sampled (``tail_epsilon``,
+relative), so deeper physical error rates automatically get narrower
+windows instead of costing more strata.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.dem import DetectorErrorModel
+from .weights import WeightDistribution, log_weight_distribution
+
+__all__ = ["Stratum", "StratumPlan", "plan_strata"]
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One weight class of the plan."""
+
+    weight: int
+    log_prob: float  # log P(W = weight)
+    assume_zero: bool  # audited, not estimated (below min_failure_weight)
+
+    @property
+    def prob(self) -> float:
+        return math.exp(self.log_prob)
+
+
+@dataclass(frozen=True)
+class StratumPlan:
+    """The weight decomposition one stratified estimate runs over."""
+
+    strata: tuple[Stratum, ...]  # weights 1..max_weight with P(W=k) > 0
+    max_weight: int
+    log_zero: float  # log P(W = 0)
+    log_tail: float  # log P(W > max_weight), bounded analytically
+    min_failure_weight: int
+    num_mechanisms: int
+    distribution: WeightDistribution
+
+    @property
+    def sampled(self) -> tuple[Stratum, ...]:
+        return tuple(s for s in self.strata if not s.assume_zero)
+
+    @property
+    def audited(self) -> tuple[Stratum, ...]:
+        return tuple(s for s in self.strata if s.assume_zero)
+
+    def __repr__(self) -> str:
+        return (
+            f"StratumPlan(sampled={[s.weight for s in self.sampled]}, "
+            f"audited={[s.weight for s in self.audited]}, "
+            f"tail={math.exp(self.log_tail):.3e})"
+        )
+
+
+def plan_strata(
+    dem: DetectorErrorModel,
+    min_failure_weight: int = 1,
+    tail_epsilon: float = 1e-6,
+    max_weight: int | None = None,
+) -> StratumPlan:
+    """Pick the weight window for a stratified estimate of one DEM.
+
+    ``min_failure_weight`` marks weights the decoder provably (or by
+    assumption) corrects; 1 means "no assumption".  ``max_weight``
+    overrides the adaptive window; by default the window grows until
+    ``P(W > max_weight) <= tail_epsilon * P(W >= min_failure_weight)``
+    — i.e. the analytic tail bound cannot move the estimate's upper
+    edge by more than a ``tail_epsilon`` fraction of the mass being
+    estimated, even if every tail error failed.
+    """
+    if min_failure_weight < 1:
+        raise ValueError("min_failure_weight must be at least 1")
+    if not 0 < tail_epsilon < 1:
+        raise ValueError("tail_epsilon must lie in (0, 1)")
+    probs = dem.probabilities()
+    probs = probs[probs > 0]
+    num = probs.size
+    if num == 0:
+        dist = log_weight_distribution(probs, 0)
+        return StratumPlan(
+            strata=(),
+            max_weight=0,
+            log_zero=0.0,
+            log_tail=float("-inf"),
+            min_failure_weight=min_failure_weight,
+            num_mechanisms=0,
+            distribution=dist,
+        )
+
+    if max_weight is not None:
+        if max_weight < 1:
+            raise ValueError("max_weight must be at least 1")
+        dist = log_weight_distribution(probs, min(max_weight, num))
+    else:
+        # Start past the bulk of the distribution, then widen until the
+        # tail criterion holds; each extra weight multiplies the tail by
+        # roughly mean_weight / K, so this converges in a step or two.
+        mean = float(probs.sum())
+        window = max(min_failure_weight, 4, math.ceil(mean + 6 * math.sqrt(mean)))
+        while True:
+            window = min(window, num)
+            dist = log_weight_distribution(probs, window)
+            mfw = min(min_failure_weight, dist.max_weight)
+            threshold = math.log(tail_epsilon) + dist.log_sf(mfw - 1)
+            if window == num or dist.log_tail <= threshold:
+                break
+            window = min(2 * window, num)
+
+    strata = tuple(
+        Stratum(
+            weight=k,
+            log_prob=float(dist.log_pmf[k]),
+            assume_zero=k < min_failure_weight,
+        )
+        for k in range(1, dist.max_weight + 1)
+        if np.isfinite(dist.log_pmf[k])
+    )
+    return StratumPlan(
+        strata=strata,
+        max_weight=dist.max_weight,
+        log_zero=float(dist.log_pmf[0]),
+        log_tail=dist.log_tail,
+        min_failure_weight=min_failure_weight,
+        num_mechanisms=num,
+        distribution=dist,
+    )

@@ -1,0 +1,138 @@
+"""Exact Poisson-binomial weight distributions of error mechanisms.
+
+A :class:`~repro.sim.dem.DetectorErrorModel` is a list of independent
+Bernoulli mechanisms; the total number that fire in one shot — the
+*Hamming weight* ``W`` of the error — follows the Poisson-binomial
+distribution of the mechanism probabilities.  The rare-event estimator
+stratifies on ``W``: each stratum's exact probability ``P(W = k)`` is
+what turns conditional failure rates back into an absolute logical
+error rate, so the distribution must be exact, not a Poisson
+approximation.
+
+Everything is computed in log space via the suffix recurrence
+
+    ``S[j, m] = P(exactly m of mechanisms j.. fire)``
+    ``S[j, m] = (1 - p_j) S[j+1, m] + p_j S[j+1, m-1]``
+
+truncated at a maximum weight ``K`` with the overflow mass ``P(W > K)``
+tracked exactly in a separate bucket — stable for tens of thousands of
+mechanisms with probabilities spanning many decades.  The full suffix
+table (not just row 0, the pmf) is kept because the conditional
+fixed-weight sampler consumes it directly
+(:mod:`repro.rareevent.sampler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WeightDistribution", "log_weight_distribution"]
+
+_NEG_INF = float("-inf")
+
+
+def _logaddexp_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    with np.errstate(invalid="ignore"):
+        return np.logaddexp(a, b)
+
+
+@dataclass(frozen=True)
+class WeightDistribution:
+    """Truncated Poisson-binomial pmf plus the exact suffix table.
+
+    ``log_suffix[j, m]`` is ``log P(exactly m of mechanisms j.. fire)``
+    for ``m <= max_weight``; ``log_suffix_tail[j]`` is
+    ``log P(more than max_weight of mechanisms j.. fire)``.  Row 0 is
+    the weight distribution of the whole model.
+    """
+
+    log_suffix: np.ndarray  # (E + 1, max_weight + 1) float64
+    log_suffix_tail: np.ndarray  # (E + 1,) float64
+
+    @property
+    def num_mechanisms(self) -> int:
+        return self.log_suffix.shape[0] - 1
+
+    @property
+    def max_weight(self) -> int:
+        return self.log_suffix.shape[1] - 1
+
+    @property
+    def log_pmf(self) -> np.ndarray:
+        """``log P(W = k)`` for ``k = 0..max_weight``."""
+        return self.log_suffix[0]
+
+    @property
+    def log_tail(self) -> float:
+        """``log P(W > max_weight)`` — the truncated mass, exactly."""
+        return float(self.log_suffix_tail[0])
+
+    def pmf(self, k: int) -> float:
+        """``P(W = k)`` for a weight within the truncation window."""
+        if not 0 <= k <= self.max_weight:
+            raise ValueError(f"weight {k} outside [0, {self.max_weight}]")
+        return float(np.exp(self.log_pmf[k]))
+
+    def log_sf(self, k: int) -> float:
+        """``log P(W > k)`` for ``k <= max_weight``."""
+        if not 0 <= k <= self.max_weight:
+            raise ValueError(f"weight {k} outside [0, {self.max_weight}]")
+        terms = np.append(self.log_pmf[k + 1 :], self.log_tail)
+        finite = terms[np.isfinite(terms)]
+        if finite.size == 0:
+            return _NEG_INF
+        peak = finite.max()
+        return float(peak + np.log(np.exp(finite - peak).sum()))
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightDistribution(mechanisms={self.num_mechanisms}, "
+            f"max_weight={self.max_weight}, tail={np.exp(self.log_tail):.3e})"
+        )
+
+
+def log_weight_distribution(
+    probs: np.ndarray, max_weight: int
+) -> WeightDistribution:
+    """Exact log-space weight distribution of independent mechanisms.
+
+    ``probs`` are per-mechanism fire probabilities in ``[0, 1)``; the
+    pmf is truncated at ``max_weight`` with the remaining mass kept in
+    the tail bucket.  Cost is ``O(num_mechanisms * max_weight)`` time
+    and memory — the table doubles as the conditional sampler's
+    lookup, which is why all suffix rows are retained.
+    """
+    probs = np.asarray(probs, dtype=np.float64).ravel()
+    if probs.size and (probs.min() < 0 or probs.max() >= 1):
+        raise ValueError("mechanism probabilities must lie in [0, 1)")
+    if max_weight < 0:
+        raise ValueError("max_weight must be non-negative")
+    num = probs.size
+    kmax = min(max_weight, num) if num else 0
+    with np.errstate(divide="ignore"):
+        log_p = np.log(probs)
+    log_q = np.log1p(-probs)
+
+    table = np.full((num + 1, kmax + 1), _NEG_INF)
+    tail = np.full(num + 1, _NEG_INF)
+    table[num, 0] = 0.0
+    shifted = np.empty(kmax + 1)
+    for j in range(num - 1, -1, -1):
+        nxt = table[j + 1]
+        shifted[0] = _NEG_INF
+        shifted[1:] = log_p[j] + nxt[:-1]
+        table[j] = _logaddexp_rows(log_q[j] + nxt, shifted)
+        # Mass leaving the window: (was at kmax, fires) joins the tail;
+        # tail mass stays tail regardless of what mechanism j does.
+        tail[j] = _logaddexp_rows(
+            log_q[j] + tail[j + 1],
+            log_p[j] + _logaddexp_rows(tail[j + 1], nxt[kmax]),
+        )
+    if kmax < max_weight:
+        # Fewer mechanisms than the requested window: pad impossible
+        # weights so callers can index pmf[k] for any k <= max_weight.
+        pad = np.full((num + 1, max_weight - kmax), _NEG_INF)
+        table = np.hstack([table, pad])
+    return WeightDistribution(log_suffix=table, log_suffix_tail=tail)

@@ -26,7 +26,10 @@ import numpy as np
 
 from ..gf2.bitmat import pack_rows, transpose_words, unpack_rows
 
-_WORD = 64
+# Bits per packed word along the shot axis — the alignment every packed
+# producer/consumer (and the chunk planners) share.
+WORD_BITS = 64
+_WORD = WORD_BITS
 
 
 def num_shot_words(shots: int) -> int:

@@ -104,7 +104,9 @@ class DetectorErrorModel:
         )
 
 
-def _enumerate_noise_sites(circuit: Circuit) -> list[tuple[int, float, list[tuple[str, int]], tuple]]:
+def _enumerate_noise_sites(
+    circuit: Circuit,
+) -> list[tuple[int, float, list[tuple[str, int]], tuple]]:
     """All single-Pauli fault mechanisms: (op_idx, prob, [(P, qubit)...], label)."""
     sites = []
     for op_idx, op in enumerate(circuit):
@@ -215,7 +217,9 @@ def extract_dem(circuit: Circuit, merge: bool = True) -> DetectorErrorModel:
         if not dets and not obs:
             continue  # invisible and harmless
         pauli_str = "*".join(f"{p}{q}" for p, q in terms)
-        source = ErrorSource(label=label, pauli=pauli_str, qubits=tuple(q for _, q in terms))
+        source = ErrorSource(
+            label=label, pauli=pauli_str, qubits=tuple(q for _, q in terms)
+        )
         key = (dets, obs) if merge else (dets, obs, e)
         if key in grouped:
             m = grouped[key]

@@ -11,7 +11,9 @@ from repro.analysis import (
     RateEstimate,
     lambda_factor,
     projected_logical_rate,
+    rule_of_three_upper,
     wilson_interval,
+    z_for_confidence,
 )
 from repro.analysis.deff import estimate_effective_distance
 from repro.circuits import nz_schedule, poor_schedule
@@ -38,6 +40,25 @@ class TestWilson:
         lo2, hi2 = wilson_interval(500, 5000)
         assert (hi2 - lo2) < (hi1 - lo1)
 
+    def test_confidence_widens_interval(self):
+        lo95, hi95 = wilson_interval(10, 100, confidence=0.95)
+        lo99, hi99 = wilson_interval(10, 100, confidence=0.99)
+        assert lo99 < lo95 and hi95 < hi99
+
+    def test_z_for_confidence(self):
+        assert z_for_confidence(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert z_for_confidence(0.99) == pytest.approx(2.575829, abs=1e-5)
+        with pytest.raises(ValueError):
+            z_for_confidence(1.0)
+
+    def test_rule_of_three(self):
+        # Classic approximation: upper ~ 3/n at 95%.
+        assert rule_of_three_upper(1000) == pytest.approx(3.0 / 1000, rel=0.01)
+        assert rule_of_three_upper(0) == 1.0
+        # Exact: observing 0/n is exactly (1 - confidence)-likely at the bound.
+        upper = rule_of_three_upper(50, confidence=0.9)
+        assert (1 - upper) ** 50 == pytest.approx(0.1, rel=1e-9)
+
 
 class TestRateEstimate:
     def test_rate(self):
@@ -47,7 +68,32 @@ class TestRateEstimate:
     def test_combine_with(self):
         a = RateEstimate(10, 100)
         b = RateEstimate(20, 100)
-        assert a.combine_with(b) == pytest.approx(1 - 0.9 * 0.8)
+        combined = a.combine_with(b)
+        assert isinstance(combined, RateEstimate)
+        assert combined.rate == pytest.approx(1 - 0.9 * 0.8)
+        assert combined.failures == 30
+        assert combined.shots == 100
+
+    def test_combine_with_propagates_interval(self):
+        a = RateEstimate(10, 1000)
+        b = RateEstimate(0, 1000)  # adds no failures, little width
+        combined = a.combine_with(b)
+        lo_a, hi_a = a.interval
+        lo_c, hi_c = combined.interval
+        assert lo_c < combined.rate < hi_c
+        # Combining with a near-zero rate roughly preserves the width.
+        assert (hi_c - lo_c) == pytest.approx(hi_a - lo_a, rel=0.35)
+
+    def test_explicit_point_overrides_counts(self):
+        est = RateEstimate(3, 100, point=1e-6, halfwidth=1e-7)
+        assert est.rate == 1e-6
+        assert est.interval == (9e-7, pytest.approx(1.1e-6))
+
+    def test_with_confidence_rescales(self):
+        est = RateEstimate(0, 0, point=1e-3, halfwidth=1e-4)
+        wider = est.with_confidence(0.99)
+        assert wider.halfwidth > est.halfwidth
+        assert wider.rate == est.rate
 
     def test_zero_shots_rate(self):
         assert RateEstimate(0, 0).rate == 0.0

@@ -13,17 +13,41 @@ class TestCli:
         assert "surface_d3" in out and "lp39" in out
 
     def test_evaluate_runs(self, capsys):
-        assert cli_main([
-            "evaluate", "surface_d3", "--shots", "400", "--samples", "6",
-        ]) == 0
+        args = ["evaluate", "surface_d3", "--shots", "400", "--samples", "6"]
+        assert cli_main(args) == 0
         out = capsys.readouterr().out
         assert "LER" in out
 
+    def test_evaluate_rare_event_runs(self, capsys):
+        args = [
+            "evaluate",
+            "surface_d3",
+            "--rare-event",
+            "--p",
+            "3e-3",
+            "--shots",
+            "8000",
+            "--samples",
+            "5",
+        ]
+        assert cli_main(args) == 0
+        out = capsys.readouterr().out
+        assert "stratified z-basis LER" in out
+        assert "combined LER" in out
+        assert "direct MC would need" in out
+
     def test_optimize_runs(self, capsys):
-        assert cli_main([
-            "optimize", "surface_d3",
-            "--iterations", "1", "--samples", "6", "--shots", "400",
-        ]) == 0
+        args = [
+            "optimize",
+            "surface_d3",
+            "--iterations",
+            "1",
+            "--samples",
+            "6",
+            "--shots",
+            "400",
+        ]
+        assert cli_main(args) == 0
         out = capsys.readouterr().out
         assert "improvement" in out or "->" in out
 
@@ -46,11 +70,19 @@ class TestRunnerCli:
 class TestScheduleOutput:
     def test_optimize_writes_schedule(self, tmp_path, capsys):
         out = tmp_path / "sched.json"
-        assert cli_main([
-            "optimize", "surface_d3",
-            "--iterations", "1", "--samples", "5", "--shots", "200",
-            "--output", str(out),
-        ]) == 0
+        args = [
+            "optimize",
+            "surface_d3",
+            "--iterations",
+            "1",
+            "--samples",
+            "5",
+            "--shots",
+            "200",
+            "--output",
+            str(out),
+        ]
+        assert cli_main(args) == 0
         from repro.circuits import schedule_from_json
         from repro.codes import rotated_surface_code
 

@@ -58,7 +58,9 @@ class TestGroups:
         for a in range(g.order):
             for b in range(g.order):
                 prod = g.left_regular(g.mul(a, b)).astype(int)
-                composed = g.left_regular(a).astype(int) @ g.left_regular(b).astype(int) % 2
+                composed = (
+                    g.left_regular(a).astype(int) @ g.left_regular(b).astype(int) % 2
+                )
                 assert np.array_equal(prod, composed)
 
 
@@ -138,7 +140,9 @@ class TestQuantumTanner:
     def test_rejects_local_code_length_mismatch(self):
         g = cyclic_group(7)
         with pytest.raises(ValueError):
-            quantum_tanner_code(g, [1, 2], [3, 4], repetition_code(3), repetition_code(2))
+            quantum_tanner_code(
+                g, [1, 2], [3, 4], repetition_code(3), repetition_code(2)
+            )
 
 
 class TestBenchmarkSuite:

@@ -91,7 +91,10 @@ class TestValidation:
 
     def test_rejects_mismatched_qubits(self):
         with pytest.raises(CSSCodeError):
-            CSSCode(hx=np.zeros((1, 3), dtype=np.uint8), hz=np.zeros((1, 4), dtype=np.uint8))
+            CSSCode(
+                hx=np.zeros((1, 3), dtype=np.uint8),
+                hz=np.zeros((1, 4), dtype=np.uint8),
+            )
 
     def test_set_logicals_validation(self):
         code = rotated_surface_code(3)

@@ -106,7 +106,9 @@ class TestMinWeightSolvers:
         when it does apply, it must agree with ISD."""
         compared = 0
         for sub in self._subgraphs(d3_dem, n=10):
-            g = solve_min_weight_logical(sub, np.random.default_rng(0), method="graphlike")
+            g = solve_min_weight_logical(
+                sub, np.random.default_rng(0), method="graphlike"
+            )
             if g is None:
                 continue
             i = solve_min_weight_logical(

@@ -27,7 +27,9 @@ def surface_dem():
 @pytest.fixture(scope="module")
 def lp_dem():
     code = load_benchmark_code("lp39")
-    return dem_for(code, coloration_schedule(code), NoiseModel(p=1e-3), basis="z", rounds=2)
+    return dem_for(
+        code, coloration_schedule(code), NoiseModel(p=1e-3), basis="z", rounds=2
+    )
 
 
 class TestMatchingDecoder:

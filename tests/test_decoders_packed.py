@@ -115,7 +115,9 @@ def test_packed_equals_dense_property(dem, shots, seed):
         BpOsdDecoder(dem),
     ]
     for dec in decoders:
-        assert_packed_matches_dense(dem, dec, shots, np.random.default_rng(rng.integers(2**63)))
+        assert_packed_matches_dense(
+            dem, dec, shots, np.random.default_rng(rng.integers(2**63))
+        )
 
 
 # -- randomized cross-checks on real DEMs -------------------------------------

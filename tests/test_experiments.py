@@ -97,6 +97,7 @@ class TestRunnerRegistry:
             "fig12",
             "fig13",
             "fig14",
+            "fig14lowp",
             "fig15",
             "fig16",
             "table1",

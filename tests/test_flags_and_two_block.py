@@ -146,4 +146,6 @@ class TestFlaggedCircuits:
         with pytest.raises(ValueError):
             build_flagged_memory_experiment(code, nz_schedule(code), rounds=0)
         with pytest.raises(ValueError):
-            build_flagged_memory_experiment(code, nz_schedule(code), rounds=1, basis="y")
+            build_flagged_memory_experiment(
+                code, nz_schedule(code), rounds=1, basis="y"
+            )

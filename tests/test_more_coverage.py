@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.circuits import Circuit, build_memory_experiment, coloration_schedule, nz_schedule
+from repro.circuits import (
+    Circuit,
+    build_memory_experiment,
+    coloration_schedule,
+    nz_schedule,
+)
 from repro.codes import (
     cyclic_group,
     hypergraph_product,

@@ -76,7 +76,8 @@ class TestAgreement:
         noisy = build_noisy(code, nz_schedule(code), p=5e-3)
         shots = 60_000
         f = FrameSimulator(noisy).sample(shots, np.random.default_rng(0)).detectors
-        d = DemSampler(extract_dem(noisy)).sample(shots, np.random.default_rng(1)).detectors
+        sampler = DemSampler(extract_dem(noisy))
+        d = sampler.sample(shots, np.random.default_rng(1)).detectors
         # Coincidence of the first 8 detectors pairwise.
         for i in range(4):
             for j in range(i + 1, 8):
