@@ -121,6 +121,34 @@ class RateEstimate:
             halfwidth=math.hypot((1.0 - r2) * hw1, (1.0 - r1) * hw2),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe encoding (exact: floats round-trip bit-for-bit).
+
+        The campaign result store persists estimates this way;
+        :meth:`from_dict` inverts it, so a stored estimate reloads
+        byte-identical — the resume-determinism contract.
+        """
+        data: dict = {
+            "failures": int(self.failures),
+            "shots": int(self.shots),
+            "confidence": float(self.confidence),
+        }
+        if self.point is not None:
+            data["point"] = float(self.point)
+        if self.halfwidth is not None:
+            data["halfwidth"] = float(self.halfwidth)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RateEstimate":
+        return cls(
+            failures=data["failures"],
+            shots=data["shots"],
+            confidence=data.get("confidence", DEFAULT_CONFIDENCE),
+            point=data.get("point"),
+            halfwidth=data.get("halfwidth"),
+        )
+
     def __repr__(self) -> str:
         lo, hi = self.interval
         return f"RateEstimate({self.rate:.3e} [{lo:.1e}, {hi:.1e}], shots={self.shots})"

@@ -5,11 +5,18 @@ Optimize a benchmark code's SM circuit and report before/after metrics::
     python -m repro.cli optimize surface_d3 --iterations 5 --samples 40
     python -m repro.cli evaluate lp39 --p 1e-3 --shots 4000
     python -m repro.cli codes
+
+Run declarative sweep campaigns against a persistent result store::
+
+    python -m repro.cli campaign run sweep.json --store results/
+    python -m repro.cli campaign status sweep.json --store results/
+    python -m repro.cli campaign export --store results/ --format csv
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -96,6 +103,103 @@ def _evaluate_rare_event(code, schedule, args, rng: np.random.Generator) -> None
     print(f"combined LER    : {combined.rate:.3e} [{lo:.1e}, {hi:.1e}]")
 
 
+def _load_campaign_spec(args):
+    from .experiments.campaign import CampaignSpec, smoke_spec
+
+    if getattr(args, "smoke", False):
+        return smoke_spec()
+    if args.spec is None:
+        raise SystemExit("a spec file is required unless --smoke is given")
+    return CampaignSpec.from_json_file(args.spec)
+
+
+def cmd_campaign_run(args) -> int:
+    from .experiments.campaign import run_campaign
+    from .experiments.store import ResultStore
+
+    spec = _load_campaign_spec(args)
+    store = ResultStore(args.store)
+    report = run_campaign(spec, store=store, workers=args.workers, progress=print)
+    print(
+        f"campaign {spec.name!r}: {len(report.jobs)} jobs, "
+        f"{report.hits} store hits, {len(report.executed)} executed"
+    )
+    if args.smoke:
+        # The CI resume check: a second invocation of a completed
+        # campaign must be pure store hits — zero sampling or decoding.
+        # Reopened from disk, so the JSONL write/reload round trip is
+        # part of what the gate verifies.
+        resumed = run_campaign(
+            spec, store=ResultStore(args.store), workers=args.workers
+        )
+        if resumed.executed:
+            print(
+                f"resume check FAILED: {len(resumed.executed)} jobs recomputed"
+            )
+            return 1
+        print(f"resume check: {resumed.hits} store hits, 0 recomputed")
+    return 0
+
+
+def cmd_campaign_status(args) -> int:
+    from .experiments.store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.spec is None and not args.smoke:
+        by_kind: dict[tuple[str, str], int] = {}
+        for record in store.records():
+            job = record["job"]
+            k = (job["code"], job["estimator"])
+            by_kind[k] = by_kind.get(k, 0) + 1
+        print(f"store {args.store}: {len(store)} records")
+        for (code, estimator), count in sorted(by_kind.items()):
+            print(f"  {code:12s} {estimator:10s} {count}")
+        return 0
+    spec = _load_campaign_spec(args)
+    jobs = spec.expand()
+    done = [j for j in jobs if j.key() in store]
+    print(
+        f"campaign {spec.name!r}: {len(done)}/{len(jobs)} jobs complete, "
+        f"{len(jobs) - len(done)} pending"
+    )
+    return 0
+
+
+def cmd_campaign_export(args) -> int:
+    import json as _json
+
+    from .experiments.campaign import export_rows
+    from .experiments.common import ExperimentResult
+    from .experiments.store import ResultStore
+
+    store = ResultStore(args.store)
+    jobs = None
+    if args.spec is not None or args.smoke:
+        jobs = _load_campaign_spec(args).expand()
+    rows = export_rows(store, jobs)
+    if args.format == "json":
+        text = _json.dumps(rows, indent=2, sort_keys=True)
+    else:
+        result = ExperimentResult(name="campaign export")
+        for row in rows:
+            result.add(**row)
+        text = result.to_csv()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"{len(rows)} rows written to {args.output}")
+    else:
+        try:
+            print(text)
+        except BrokenPipeError:
+            # Downstream consumer (head, a closed pager) went away:
+            # that is a successful export, not an error.  Detach stdout
+            # so the interpreter's exit flush cannot raise again.
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+    return 0
+
+
 def cmd_optimize(args) -> int:
     code = load_benchmark_code(args.code)
     start = coloration_schedule(code)
@@ -175,6 +279,54 @@ def build_parser() -> argparse.ArgumentParser:
         "assumption — coloration circuits can fail at weight 1)",
     )
     ev.set_defaults(fn=cmd_evaluate)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="declarative sweeps over the content-addressed result store",
+    )
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_common(p):
+        p.add_argument(
+            "spec",
+            nargs="?",
+            default=None,
+            help="campaign spec JSON file (see CampaignSpec; optional "
+            "with --smoke)",
+        )
+        p.add_argument(
+            "--store",
+            required=True,
+            help="result-store directory (created if missing)",
+        )
+        p.add_argument(
+            "--smoke",
+            action="store_true",
+            help="use the tiny built-in smoke campaign instead of a spec file",
+        )
+
+    crun = csub.add_parser(
+        "run", help="run missing jobs of a campaign (resume-safe)"
+    )
+    _campaign_common(crun)
+    crun.add_argument(
+        "--workers", type=int, default=1, help="shot-runner worker processes"
+    )
+    crun.set_defaults(fn=cmd_campaign_run)
+
+    cstat = csub.add_parser(
+        "status", help="completed/pending counts for a campaign or store"
+    )
+    _campaign_common(cstat)
+    cstat.set_defaults(fn=cmd_campaign_status)
+
+    cexp = csub.add_parser(
+        "export", help="flatten store records to CSV/JSON for analysis"
+    )
+    _campaign_common(cexp)
+    cexp.add_argument("--format", choices=("csv", "json"), default="csv")
+    cexp.add_argument("--output", default=None, help="write to a file")
+    cexp.set_defaults(fn=cmd_campaign_export)
 
     opt = sub.add_parser("optimize", help="run PropHunt on a benchmark code")
     opt.add_argument("code")

@@ -2,6 +2,7 @@
 
 from . import (
     ablations,
+    campaign,
     fig01_predictors,
     fig06_schedules,
     fig12_benchmarks,
@@ -11,10 +12,13 @@ from . import (
     fig15_idle,
     fig16_zne,
     shotrunner,
+    store,
     table1_codes,
     table2_models,
 )
+from .campaign import CampaignJob, CampaignSpec, run_campaign
 from .common import ExperimentResult
+from .store import ResultStore
 from .shotrunner import (
     estimate_logical_error_rate_chunked,
     run_shot_chunks,
@@ -22,10 +26,16 @@ from .shotrunner import (
 )
 
 __all__ = [
+    "CampaignJob",
+    "CampaignSpec",
     "ExperimentResult",
+    "ResultStore",
+    "campaign",
     "estimate_logical_error_rate_chunked",
+    "run_campaign",
     "run_shot_chunks",
     "run_stratified_chunks",
+    "store",
     "fig01_predictors",
     "fig06_schedules",
     "fig12_benchmarks",

@@ -8,6 +8,9 @@ rate.  The paper's two counterexample patterns are checked:
     depth-4 schedule loses badly to the good depth-4 schedule;
 (b) equal d_eff does not imply equal LER — depth-4 and coloration
     circuits can share d_eff = d yet differ in logical error rate.
+
+LER measurement runs as a campaign (content-addressed jobs over the
+result store); d_eff estimation stays inline — it is not a shot loop.
 """
 
 from __future__ import annotations
@@ -15,10 +18,32 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.deff import estimate_effective_distance
-from ..circuits import coloration_schedule, nz_schedule, poor_schedule
 from ..codes import rotated_surface_code
-from ..decoders import estimate_logical_error_rate
+from .campaign import CampaignSpec, resolve_schedule, run_campaign
 from .common import ExperimentResult
+
+
+def schedule_tokens(seed: int) -> tuple[tuple[str, str], ...]:
+    return (
+        ("nz (hand, depth-min)", "nz"),
+        ("poor (depth-min)", "poor"),
+        ("coloration", "coloration"),
+        ("coloration (random)", f"coloration:{seed + 1}"),
+    )
+
+
+def campaign_spec(
+    d: int = 5, p: float = 3e-3, shots: int = 8000, seed: int = 0
+) -> CampaignSpec:
+    return CampaignSpec(
+        name=f"fig01_surface_d{d}",
+        codes=(f"surface_d{d}",),
+        schedules=tuple(token for _, token in schedule_tokens(seed)),
+        p_values=(p,),
+        bases=("z", "x"),
+        shots=shots,
+        seed=seed,
+    )
 
 
 def run(
@@ -28,33 +53,30 @@ def run(
     deff_samples: int = 30,
     seed: int = 0,
     workers: int = 1,
+    store=None,
 ) -> ExperimentResult:
+    spec = campaign_spec(d=d, p=p, shots=shots, seed=seed)
+    report = run_campaign(spec, store=store, workers=workers)
+    by_config = {(j.schedule, j.basis): j for j in report.jobs}
     code = rotated_surface_code(d)
     rng = np.random.default_rng(seed)
-    schedules = {
-        "nz (hand, depth-min)": nz_schedule(code),
-        "poor (depth-min)": poor_schedule(code),
-        "coloration": coloration_schedule(code),
-        "coloration (random)": coloration_schedule(
-            code, np.random.default_rng(seed + 1)
-        ),
-    }
     result = ExperimentResult(
         name=f"Figure 1: predictors vs LER, [[{code.n},1,{d}]] surface, p={p:g}",
         notes="Red-square analogue: min-depth 'poor' underperforms; "
         "blue-diamond analogue: deeper circuits with d_eff=d can match.",
     )
-    for name, sched in schedules.items():
+    for name, token in schedule_tokens(seed):
+        sched = resolve_schedule(code, token)
         deff = estimate_effective_distance(
             code, sched, samples=deff_samples, rng=rng
         )
-        ler = estimate_logical_error_rate(
-            code, sched, p=p, shots=shots, rng=rng, workers=workers
+        combined = report.combined_estimate(
+            by_config[(token, basis)] for basis in ("z", "x")
         )
         result.add(
             schedule=name,
             cnot_depth=sched.cnot_depth(),
             deff=deff.deff,
-            logical_error_rate=ler.rate,
+            logical_error_rate=combined.rate,
         )
     return result

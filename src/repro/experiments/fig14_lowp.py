@@ -16,22 +16,19 @@ agree — the validation gate for trusting the stratified numbers.  The
 *deep* rows then extend the curve to error rates where direct MC would
 need more shots than any figure budget, reporting the equivalent
 direct-MC shot count the stratified estimate replaces.
+
+Both estimators run as campaign jobs: the stratified result's full
+per-stratum provenance is stored, so rows rebuild from store queries
+and a completed figure re-renders with zero decoding.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..circuits import coloration_schedule, nz_schedule
-from ..codes import load_benchmark_code
-from ..decoders.metrics import dem_for
-from ..noise.model import NoiseModel
-from ..rareevent import estimate_ler_stratified
+from .campaign import CampaignJob, run_campaign
 from .common import ExperimentResult
-from .shotrunner import run_shot_chunks
 
 
-def _min_failure_weight(code, name: str) -> int:
+def _min_failure_weight(distance: int | None, name: str) -> int:
     """Weight below which the decoder provably corrects — ceil(d/2).
 
     Claimed only for the surface codes on their unambiguous N-Z
@@ -39,9 +36,67 @@ def _min_failure_weight(code, name: str) -> int:
     can mispredict even weight-1 errors on ambiguous syndromes —
     that ambiguity is the paper's subject).
     """
-    if name.startswith("surface") and code.distance:
-        return (code.distance + 1) // 2
+    if name.startswith("surface") and distance:
+        return (distance + 1) // 2
     return 1
+
+
+def _distance_of(name: str) -> int | None:
+    if name.startswith("surface_d"):
+        return int(name.removeprefix("surface_d"))
+    return None
+
+
+def build_jobs(
+    codes: tuple[str, ...],
+    overlap_p: float,
+    deep_p: tuple[float, ...],
+    direct_shots: int,
+    target_rel_halfwidth: float,
+    max_strat_shots: int,
+    deep: bool,
+    seed: int,
+) -> list[tuple[CampaignJob, str]]:
+    """(job, window) pairs in row order; window is 'overlap' or 'deep'."""
+    jobs: list[tuple[CampaignJob, str]] = []
+    for name in codes:
+        schedule = "nz" if name.startswith("surface") else "coloration"
+        mfw = _min_failure_weight(_distance_of(name), name)
+        p_values = (overlap_p,) + (tuple(deep_p) if deep else ())
+        for p in p_values:
+            window = "overlap" if p == overlap_p else "deep"
+            jobs.append(
+                (
+                    CampaignJob(
+                        code=name,
+                        schedule=schedule,
+                        basis="z",
+                        p=p,
+                        estimator="rare-event",
+                        shots=max_strat_shots,
+                        target_rel_halfwidth=target_rel_halfwidth,
+                        min_failure_weight=mfw,
+                        seed=seed,
+                    ),
+                    window,
+                )
+            )
+            if window == "overlap":
+                jobs.append(
+                    (
+                        CampaignJob(
+                            code=name,
+                            schedule=schedule,
+                            basis="z",
+                            p=p,
+                            estimator="direct",
+                            shots=direct_shots,
+                            seed=seed,
+                        ),
+                        window,
+                    )
+                )
+    return jobs
 
 
 def run(
@@ -54,6 +109,7 @@ def run(
     deep: bool = True,
     workers: int = 1,
     seed: int = 0,
+    store=None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         name="Figure 14 extension: deep low-p LER, stratified vs direct MC",
@@ -61,48 +117,46 @@ def run(
         "direct MC; deep rows extend below direct-MC reach "
         "(direct_equiv = shots direct MC would need for the same CI)",
     )
-    rng = np.random.default_rng(seed)
-    for name in codes:
-        code = load_benchmark_code(name)
-        schedule = (
-            nz_schedule(code)
-            if name.startswith("surface")
-            else coloration_schedule(code)
+    pairs = build_jobs(
+        codes,
+        overlap_p,
+        deep_p,
+        direct_shots,
+        target_rel_halfwidth,
+        max_strat_shots,
+        deep,
+        seed,
+    )
+    report = run_campaign([job for job, _ in pairs], store=store, workers=workers)
+
+    directs = {
+        (j.code, j.p): j for j, _ in pairs if j.estimator == "direct"
+    }
+    for job, window in pairs:
+        if job.estimator != "rare-event":
+            continue
+        strat = report.record(job)["result"]["stratified"]
+        equiv = strat["direct_mc_equiv"]
+        row = dict(
+            code=job.code,
+            p=job.p,
+            window=window,
+            strat_rate=strat["rate"],
+            strat_lo=strat["lo"],
+            strat_hi=strat["hi"],
+            strat_shots=strat["decoded_shots"],
+            direct_equiv=float("inf") if equiv is None else equiv,
         )
-        mfw = _min_failure_weight(code, name)
-        p_values = (overlap_p,) + (tuple(deep_p) if deep else ())
-        for p in p_values:
-            dem = dem_for(code, schedule, NoiseModel(p=p), basis="z")
-            strat = estimate_ler_stratified(
-                dem,
-                rng=rng,
-                min_failure_weight=mfw,
-                target_rel_halfwidth=target_rel_halfwidth,
-                max_shots=max_strat_shots,
-                workers=workers,
+        direct_job = directs.get((job.code, job.p))
+        if direct_job is not None:
+            direct = report.estimate(direct_job)
+            d_lo, d_hi = direct.interval
+            row.update(
+                direct_rate=direct.rate,
+                direct_lo=d_lo,
+                direct_hi=d_hi,
+                direct_shots=direct.shots,
+                agrees=bool(strat["lo"] <= d_hi and d_lo <= strat["hi"]),
             )
-            s_lo, s_hi = strat.interval
-            row = dict(
-                code=name,
-                p=p,
-                window="overlap" if p == overlap_p else "deep",
-                strat_rate=strat.rate,
-                strat_lo=s_lo,
-                strat_hi=s_hi,
-                strat_shots=strat.shots,
-                direct_equiv=strat.direct_mc_shots_for_same_ci(),
-            )
-            if p == overlap_p:
-                direct = run_shot_chunks(
-                    dem, shots=direct_shots, rng=rng, workers=workers
-                )
-                d_lo, d_hi = direct.interval
-                row.update(
-                    direct_rate=direct.rate,
-                    direct_lo=d_lo,
-                    direct_hi=d_hi,
-                    direct_shots=direct.shots,
-                    agrees=bool(s_lo <= d_hi and d_lo <= s_hi),
-                )
-            result.add(**row)
+        result.add(**row)
     return result

@@ -5,16 +5,21 @@ quantifies the trade-off by sweeping idle-error strength (the ratio of
 gate-layer time to coherence time) at fixed gate error 0.1%.  For a wide
 band of realistic idle strengths — the three hardware reference points
 are marked — the logical-error improvement outweighs the extra depth.
+
+The (circuit x idle strength) sweep runs as a campaign over the result
+store; an ``optimized_schedule`` (a real PropHunt output) enters the
+grid as an inline serialized schedule, content-addressed like any named
+one.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import json
 
-from ..circuits import coloration_schedule, nz_schedule, poor_schedule
+from ..circuits import schedule_to_json
 from ..codes import load_benchmark_code
-from ..decoders import estimate_logical_error_rate
 from ..noise import HARDWARE_IDLE_POINTS
+from .campaign import CampaignJob, resolve_schedule, run_campaign
 from .common import ExperimentResult
 
 
@@ -26,6 +31,7 @@ def run(
     seed: int = 0,
     optimized_schedule=None,
     workers: int = 1,
+    store=None,
 ) -> ExperimentResult:
     """Sweep idle strength for a shallow vs a deeper (better) circuit.
 
@@ -35,39 +41,50 @@ def run(
     the same depth-vs-quality axis the paper studies.
     """
     code = load_benchmark_code(code_name)
-    rng = np.random.default_rng(seed)
     if code_name.startswith("surface"):
-        circuits = {
-            "poor (depth 4)": poor_schedule(code),
-            "good (depth 4)": nz_schedule(code),
-            "coloration (deeper)": coloration_schedule(code),
-        }
+        circuits = [
+            ("poor (depth 4)", "poor"),
+            ("good (depth 4)", "nz"),
+            ("coloration (deeper)", "coloration"),
+        ]
     else:
-        circuits = {"coloration": coloration_schedule(code)}
+        circuits = [("coloration", "coloration")]
     if optimized_schedule is not None:
-        circuits["prophunt"] = optimized_schedule
+        circuits.append(("prophunt", json.loads(schedule_to_json(optimized_schedule))))
 
+    jobs = [
+        CampaignJob(
+            code=code_name,
+            schedule=token,
+            basis=basis,
+            p=p,
+            idle_strength=strength,
+            shots=shots,
+            max_failures=400,
+            seed=seed,
+        )
+        for _, token in circuits
+        for strength in idle_strengths
+        for basis in ("z", "x")
+    ]
+    report = run_campaign(jobs, store=store, workers=workers)
     result = ExperimentResult(
         name=f"Figure 15: idle sensitivity, {code.label()}, gate p={p:g}",
         notes="hardware idle strengths: "
         + ", ".join(f"{k}={v:.1e}" for k, v in HARDWARE_IDLE_POINTS.items()),
     )
-    for label, sched in circuits.items():
+    for label, token in circuits:
+        sched = resolve_schedule(code, token)
         for strength in idle_strengths:
-            ler = estimate_logical_error_rate(
-                code,
-                sched,
-                p=p,
-                shots=shots,
-                idle_strength=strength,
-                rng=rng,
-                max_failures=400,
-                workers=workers,
+            combined = report.combined_estimate(
+                j
+                for j in report.jobs
+                if j.schedule == token and j.idle_strength == strength
             )
             result.add(
                 circuit=label,
                 cnot_depth=sched.cnot_depth(),
                 idle_strength=strength,
-                logical_error_rate=ler.rate,
+                logical_error_rate=combined.rate,
             )
     return result

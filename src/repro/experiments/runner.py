@@ -58,12 +58,16 @@ def _run_fig16(opts):
 EXPERIMENTS = {
     "fig1": lambda opts: [
         fig01_predictors.run(
-            shots=_scale(opts, 500, 5000, 20_000), workers=opts.workers
+            shots=_scale(opts, 500, 5000, 20_000),
+            workers=opts.workers,
+            store=opts.store,
         )
     ],
     "fig6": lambda opts: [
         fig06_schedules.run(
-            shots=_scale(opts, 300, 10_000, 50_000), workers=opts.workers
+            shots=_scale(opts, 300, 10_000, 50_000),
+            workers=opts.workers,
+            store=opts.store,
         )
     ],
     "table1": lambda opts: [
@@ -78,6 +82,7 @@ EXPERIMENTS = {
             shots=_scale(opts, 400, 5000, 30_000),
             include_intermediate=opts.full,
             workers=opts.workers,
+            store=opts.store,
         )
     ],
     "fig13": lambda opts: [
@@ -109,10 +114,15 @@ EXPERIMENTS = {
             deep_p=(1e-3,) if opts.smoke else (1e-3, 5e-4),
             deep=opts.rare_event or opts.full,
             workers=opts.workers,
+            store=opts.store,
         )
     ],
     "fig15": lambda opts: [
-        fig15_idle.run(shots=_scale(opts, 400, 6000, 20_000), workers=opts.workers)
+        fig15_idle.run(
+            shots=_scale(opts, 400, 6000, 20_000),
+            workers=opts.workers,
+            store=opts.store,
+        )
     ],
     "fig16": _run_fig16,
 }
@@ -158,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="extend LER experiments below direct-MC reach with the "
         "weight-stratified estimator (fig14lowp deep rows)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="campaign result-store directory: completed sweep jobs are "
+        "reused across invocations (default: ephemeral in-memory store)",
     )
     args = parser.parse_args(argv)
 

@@ -129,13 +129,22 @@ def run_shot_chunks(
     max_failures: int | None = None,
     on_chunk: Callable[[ChunkResult], None] | None = None,
     dense_reference: bool = False,
+    sampler: DemSampler | None = None,
+    dec: Decoder | None = None,
 ) -> RateEstimate:
     """Sample/decode ``shots`` shots of one DEM in chunks.
 
     ``on_chunk`` streams per-chunk results (in chunk order) to the
     caller as they are accumulated.  ``max_failures`` stops after the
     first chunk that pushes the failure count past the cap, applied in
-    chunk order, so early stopping is worker-count independent.
+    chunk order, so early stopping is worker-count independent; the
+    returned estimate reports the shots actually consumed (the chunks
+    accounted before the stop), never the planned budget, so its Wilson
+    interval stays honest.
+
+    ``sampler``/``dec`` let a caller with a compile cache (the campaign
+    engine) reuse a pre-built sampler and decoder on the inline path;
+    with ``workers > 1`` each pool worker builds its own instead.
 
     The hot path is fully packed: chunks are sampled packed and decoded
     through :meth:`~repro.decoders.base.Decoder.decode_batch_packed`
@@ -164,8 +173,10 @@ def run_shot_chunks(
         return max_failures is not None and failures >= max_failures
 
     if workers <= 1:
-        sampler = DemSampler(dem)
-        dec = make_decoder(dem, basis, decoder)
+        if sampler is None:
+            sampler = DemSampler(dem)
+        if dec is None:
+            dec = make_decoder(dem, basis, decoder)
         for job in jobs:
             if _account(_run_chunk_with(sampler, dec, job, dense_reference)):
                 break

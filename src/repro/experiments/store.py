@@ -1,0 +1,121 @@
+"""Content-addressed on-disk result store for campaign runs.
+
+A campaign expands into jobs, each fully described by a plain JSON
+dictionary (code, schedule, noise, decoder, estimator, budget, seed).
+The store keys every result by the SHA-256 of that dictionary's
+*canonical* JSON encoding, so two jobs collide exactly when they would
+compute the same thing: resuming a campaign, re-running a figure, or
+sharing a store between invocations all reduce to key lookups.
+
+The on-disk format is a single append-only ``results.jsonl`` inside the
+store directory — one record per line, written atomically enough that a
+killed run loses at most its unfinished trailing line (which the loader
+detects and drops).  The index is rebuilt in memory on open; there is
+no separate index file to go stale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Iterator
+
+STORE_FILENAME = "results.jsonl"
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical JSON encoding: sorted keys, no whitespace, no NaN/Inf.
+
+    Floats round-trip exactly (``json`` emits the shortest string that
+    parses back to the same IEEE double), so the encoding — and any hash
+    of it — is stable across processes, platforms, and JSON round trips.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def job_key(payload: dict[str, Any]) -> str:
+    """Content address of one job description (hex SHA-256)."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Keyed result records, persisted as JSONL (or in memory).
+
+    ``path=None`` gives an ephemeral in-memory store with the same API —
+    the default for one-shot figure runs that do not pass ``--store``.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        self.path = os.fspath(path) if path is not None else None
+        self._records: dict[str, dict[str, Any]] = {}
+        if self.path is not None:
+            os.makedirs(self.path, exist_ok=True)
+            self._load()
+
+    @property
+    def _file(self) -> str:
+        assert self.path is not None
+        return os.path.join(self.path, STORE_FILENAME)
+
+    def _load(self) -> None:
+        if not os.path.exists(self._file):
+            return
+        with open(self._file, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Interrupted mid-append: drop the partial trailing
+                    # line; the job will simply re-run on resume.
+                    continue
+                if isinstance(record, dict) and "key" in record:
+                    self._records[record["key"]] = record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        return self._records.get(key)
+
+    def keys(self) -> list[str]:
+        return list(self._records)
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        return iter(self._records.values())
+
+    def put(
+        self,
+        key: str,
+        job: dict[str, Any],
+        result: dict[str, Any],
+        label: str | None = None,
+    ) -> None:
+        """Insert (or overwrite) one record and persist it immediately.
+
+        ``job`` must be the exact hash preimage of ``key`` — display
+        metadata like ``label`` lives on the record envelope, never
+        inside the job dict, so ``key == job_key(record["job"])`` holds
+        for every stored record.
+        """
+        record = {"key": key, "job": job, "result": result}
+        if label is not None:
+            record["label"] = label
+        # Serializing now also validates: a record that cannot
+        # round-trip through canonical JSON (NaN/Inf, non-JSON types)
+        # must fail at write time, not at some later resume.
+        line = canonical_json(record)
+        self._records[key] = record
+        if self.path is not None:
+            with open(self._file, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())

@@ -184,6 +184,32 @@ class StratifiedEstimate:
             halfwidth=max(point - lo, hi - point),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary with full per-stratum provenance.
+
+        What the campaign result store persists for rare-event jobs:
+        the combined estimate, its exact interval edges (asymmetric —
+        the upper edge carries zero-failure and tail mass), and every
+        stratum's counts, so ``status``/``export`` and figure tables
+        rebuild their rows without re-running the estimator.
+        """
+        lo, hi = self.interval
+        equiv = self.direct_mc_shots_for_same_ci()
+        return {
+            "rate": self.rate,
+            "lo": lo,
+            "hi": hi,
+            "decoded_shots": self.shots,
+            "failures": self.failures,
+            "converged": self.converged,
+            "rounds": self.rounds,
+            "confidence": self.confidence,
+            "mode": self.mode,
+            "audit_violations": list(self.audit_violations),
+            "direct_mc_equiv": None if math.isinf(equiv) else equiv,
+            "strata": self.summary_rows(),
+        }
+
     def summary_rows(self) -> list[dict]:
         """Per-stratum rows for experiment tables / CLI printing."""
         rows = []
@@ -279,6 +305,7 @@ def estimate_ler_stratified(
     chunk_size: int = 5_000,
     workers: int = 1,
     mode: str = "proportional",
+    dec=None,
 ) -> StratifiedEstimate:
     """Weight-stratified logical error rate of one DEM.
 
@@ -289,6 +316,13 @@ def estimate_ler_stratified(
     module docstring for the estimator and its guarantees; see
     :func:`~repro.rareevent.planner.plan_strata` for
     ``min_failure_weight`` / ``tail_epsilon`` / ``max_weight``.
+
+    The estimate is a pure function of ``rng``'s seed root for any
+    ``workers`` count, which is how the campaign engine re-enters it:
+    a resumed campaign re-derives the same seed and gets a
+    byte-identical estimate.  ``dec`` injects a pre-built decoder (the
+    campaign's compile cache) on the inline path; with ``workers > 1``
+    pool workers compile their own.
 
     ``mode="uniform"`` draws uniform instead of conditional subsets and
     reweights (Horvitz-Thompson); zero-failure bounds are then heuristic,
@@ -315,7 +349,8 @@ def estimate_ler_stratified(
     # Compiled once and reused across every adaptive round (and by
     # run_stratified_chunks' inline path); with workers > 1 each pool
     # worker builds its own copies instead.
-    dec = make_decoder(dem, basis, decoder)
+    if dec is None:
+        dec = make_decoder(dem, basis, decoder)
     estimate = StratifiedEstimate(
         strata=strata,
         log_zero=plan.log_zero,

@@ -67,6 +67,68 @@ class TestRunnerCli:
         assert "Table 1" in out
 
 
+class TestCampaignCli:
+    def test_smoke_run_and_resume_check(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert cli_main(["campaign", "run", "--smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "4 executed" in out
+        assert "resume check: 4 store hits, 0 recomputed" in out
+
+    def test_spec_file_run_status_export(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.campaign import smoke_spec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(smoke_spec().to_dict()))
+        store = str(tmp_path / "store")
+
+        assert cli_main(["campaign", "run", str(spec_path), "--store", store]) == 0
+        capsys.readouterr()
+
+        assert (
+            cli_main(["campaign", "status", str(spec_path), "--store", store]) == 0
+        )
+        assert "4/4 jobs complete" in capsys.readouterr().out
+
+        assert cli_main(["campaign", "status", "--store", store]) == 0
+        assert "4 records" in capsys.readouterr().out
+
+        out_file = tmp_path / "rows.json"
+        assert (
+            cli_main(
+                [
+                    "campaign",
+                    "export",
+                    str(spec_path),
+                    "--store",
+                    store,
+                    "--format",
+                    "json",
+                    "--output",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(out_file.read_text())
+        assert len(rows) == 4
+        assert {r["estimator"] for r in rows} == {"direct", "rare-event"}
+
+    def test_run_without_spec_or_smoke_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["campaign", "run", "--store", str(tmp_path / "s")])
+
+    def test_export_csv_to_stdout(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert cli_main(["campaign", "run", "--smoke", "--store", store]) == 0
+        capsys.readouterr()
+        assert cli_main(["campaign", "export", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("key,code,schedule")
+
+
 class TestScheduleOutput:
     def test_optimize_writes_schedule(self, tmp_path, capsys):
         out = tmp_path / "sched.json"

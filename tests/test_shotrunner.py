@@ -10,11 +10,12 @@ codebase.
 import numpy as np
 import pytest
 
+from repro.analysis.stats import wilson_interval
 from repro.circuits import nz_schedule
 from repro.codes import rotated_surface_code
 from repro.core import DecodingGraph
 from repro.core.parallel import sample_and_solve
-from repro.decoders.metrics import dem_for, estimate_logical_error_rate
+from repro.decoders.metrics import dem_for, estimate_logical_error_rate, make_decoder
 from repro.experiments.shotrunner import (
     estimate_logical_error_rate_chunked,
     plan_chunks,
@@ -22,6 +23,7 @@ from repro.experiments.shotrunner import (
     spawn_chunk_seeds,
 )
 from repro.noise import NoiseModel
+from repro.sim.sampler import DemSampler
 
 
 @pytest.fixture(scope="module")
@@ -175,6 +177,22 @@ class TestRunnerDeterminism:
             est_dense.shots,
         )
 
+    def test_injected_sampler_decoder_identical(self, d3_dem):
+        """A campaign compile cache injecting sampler/decoder is pure
+        reuse — bit-identical to the build-per-call path."""
+        fresh = run_shot_chunks(
+            d3_dem, shots=1000, rng=np.random.default_rng(9), chunk_size=256
+        )
+        injected = run_shot_chunks(
+            d3_dem,
+            shots=1000,
+            rng=np.random.default_rng(9),
+            chunk_size=256,
+            sampler=DemSampler(d3_dem),
+            dec=make_decoder(d3_dem, "z", "auto"),
+        )
+        assert (fresh.failures, fresh.shots) == (injected.failures, injected.shots)
+
     def test_metrics_wrapper_delegates(self, d3_code):
         """The decoders.metrics entry point is the same engine."""
         via_metrics = estimate_logical_error_rate(
@@ -195,6 +213,46 @@ class TestRunnerDeterminism:
         )
         assert via_metrics.rate == via_runner.rate
         assert via_metrics.shots == via_runner.shots
+
+
+class TestEarlyStopAccounting:
+    """max_failures early stop must report exactly the shots consumed.
+
+    A campaign stores the returned estimate verbatim: if the runner
+    reported the planned budget instead of the accounted chunks, stored
+    rates and Wilson CI widths would be silently wrong.  Pinned for
+    both worker paths (inline and process pool).
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_shots_equal_accounted_chunks_not_budget(self, noisy_dem, workers):
+        planned = 20_000
+        seen = []
+        est = run_shot_chunks(
+            noisy_dem,
+            shots=planned,
+            rng=np.random.default_rng(7),
+            chunk_size=256,
+            workers=workers,
+            max_failures=10,
+            on_chunk=seen.append,
+        )
+        assert est.shots == sum(c.shots for c in seen)
+        assert est.shots < planned
+        assert est.failures == sum(c.failures for c in seen)
+        assert est.failures >= 10
+        # The interval is computed from real consumption, not the plan.
+        assert est.interval == wilson_interval(est.failures, est.shots)
+
+    def test_no_early_stop_reports_full_budget(self, d3_dem):
+        est = run_shot_chunks(
+            d3_dem,
+            shots=1280,
+            rng=np.random.default_rng(1),
+            chunk_size=256,
+            max_failures=10_000,
+        )
+        assert est.shots == 1280
 
 
 class TestCoreParallelDeterminism:
