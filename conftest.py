@@ -1,0 +1,82 @@
+"""Repo-wide pytest plumbing: hypothesis profiles and golden files.
+
+Hypothesis profiles
+    ``dev`` (default) keeps property tests fast locally; ``ci`` runs
+    more examples with a fixed derandomized seed so the CI litmus job is
+    both thorough and reproducible.  Select with
+    ``HYPOTHESIS_PROFILE=ci pytest ...``.
+
+Golden files
+    Snapshot tests (``tests/test_golden.py``) compare rendered tables /
+    export rows against files under ``tests/golden/``.  After an
+    intentional output change, refresh with::
+
+        pytest tests/test_golden.py --update-golden
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    # Hypothesis's own default example count: registering a default
+    # profile must not quietly weaken the pre-existing property tests.
+    max_examples=100,
+    deadline=None,
+)
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+GOLDEN_DIR = Path(__file__).parent / "tests" / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ snapshots from current outputs "
+        "instead of comparing against them",
+    )
+
+
+class Golden:
+    """Compare-or-update helper bound to one test run."""
+
+    def __init__(self, update: bool):
+        self.update = update
+
+    def check(self, name: str, text: str) -> None:
+        """Assert ``text`` matches the named snapshot (or rewrite it)."""
+        path = GOLDEN_DIR / name
+        if self.update:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+            return
+        if not path.exists():
+            raise AssertionError(
+                f"golden file {path} missing - generate it with "
+                "pytest tests/test_golden.py --update-golden"
+            )
+        expected = path.read_text(encoding="utf-8")
+        assert text == expected, (
+            f"output diverged from {path.name}; if the change is "
+            "intentional, refresh with pytest tests/test_golden.py "
+            "--update-golden"
+        )
+
+
+@pytest.fixture
+def golden(request) -> Golden:
+    return Golden(update=request.config.getoption("--update-golden"))

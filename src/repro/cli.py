@@ -39,7 +39,27 @@ def cmd_codes(_args) -> int:
     return 0
 
 
+def _bad_spec_detail(exc: BaseException) -> str:
+    """Human-readable cause for a rejected noise/campaign spec.
+
+    Sentence-style messages pass through; bare details (e.g. the
+    ``KeyError('p')`` of a channel payload missing a field) keep their
+    exception type as the hint.
+    """
+    detail = exc.args[0] if exc.args else exc
+    if isinstance(detail, str) and " " in detail:
+        return detail
+    return f"{type(exc).__name__}: {detail!r}"
+
+
 def cmd_evaluate(args) -> int:
+    if args.noise is not None:
+        from .noise.spec import resolve_noise
+
+        try:  # validate up front: a typo'd token must not traceback
+            resolve_noise(args.noise, args.p)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SystemExit(f"bad --noise spec: {_bad_spec_detail(exc)}")
     code = load_benchmark_code(args.code)
     schedule = coloration_schedule(code)
     rng = np.random.default_rng(args.seed)
@@ -47,11 +67,19 @@ def cmd_evaluate(args) -> int:
     print(f"code            : {code.label()}")
     print(f"circuit         : coloration, CNOT depth {schedule.cnot_depth()}")
     print(f"d_eff estimate  : {deff.deff}")
+    if args.noise:
+        print(f"noise           : {args.noise}")
     if args.rare_event:
         _evaluate_rare_event(code, schedule, args, rng)
     else:
         ler = estimate_logical_error_rate(
-            code, schedule, p=args.p, shots=args.shots, rng=rng, workers=args.workers
+            code,
+            schedule,
+            p=args.p,
+            shots=args.shots,
+            rng=rng,
+            workers=args.workers,
+            noise=args.noise,
         )
         print(f"LER @ p={args.p:g} : {ler.rate:.3e} ({ler.shots} shots/basis)")
     return 0
@@ -65,10 +93,10 @@ def _evaluate_rare_event(code, schedule, args, rng: np.random.Generator) -> None
     ``--target-rel-ci`` of the estimate.
     """
     from .decoders.metrics import dem_for
-    from .noise.model import NoiseModel
+    from .noise.spec import resolve_noise
     from .rareevent import estimate_ler_stratified
 
-    noise = NoiseModel(p=args.p)
+    noise = resolve_noise(args.noise, args.p)
     combined = None
     for basis in ("z", "x"):
         dem = dem_for(code, schedule, noise, basis=basis)
@@ -110,7 +138,16 @@ def _load_campaign_spec(args):
         return smoke_spec()
     if args.spec is None:
         raise SystemExit("a spec file is required unless --smoke is given")
-    return CampaignSpec.from_json_file(args.spec)
+    try:
+        # Parsing and expansion validate every job (JSON syntax, spec
+        # fields, noise tokens, estimators, ...): a typo in a
+        # hand-edited file must not traceback.  JSONDecodeError is a
+        # ValueError.
+        spec = CampaignSpec.from_json_file(args.spec)
+        spec.expand()
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SystemExit(f"bad campaign spec {args.spec}: {_bad_spec_detail(exc)}")
+    return spec
 
 
 def cmd_campaign_run(args) -> int:
@@ -256,6 +293,13 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--seed", type=int, default=0)
     ev.add_argument(
         "--workers", type=int, default=1, help="shot-runner worker processes"
+    )
+    ev.add_argument(
+        "--noise",
+        default=None,
+        help="noise scenario token: 'depolarizing' (default), "
+        "'biased:<eta>' (eta-biased Pauli at rate p), with an optional "
+        "',pm=<v>' readout-flip clause (absolute, or '<k>p' relative)",
     )
     ev.add_argument(
         "--rare-event",

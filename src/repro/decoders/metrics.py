@@ -26,6 +26,7 @@ from ..circuits.builder import build_memory_experiment
 from ..circuits.schedule import Schedule
 from ..codes.css import CSSCode
 from ..noise.model import NoiseModel
+from ..noise.spec import NoiseSpec
 from ..sim.dem import DetectorErrorModel, extract_dem
 from .base import Decoder
 from .bposd import BpOsdDecoder
@@ -35,12 +36,17 @@ from .matching import MatchingDecoder, detector_subset_for_basis
 def dem_for(
     code: CSSCode,
     schedule: Schedule,
-    noise: NoiseModel,
+    noise: NoiseModel | NoiseSpec,
     basis: str = "z",
     rounds: int | None = None,
 ) -> DetectorErrorModel:
     """Build + noise + extract in one call (rounds defaults to the code
-    distance, the paper's convention)."""
+    distance, the paper's convention).
+
+    ``noise`` is anything with the ``apply(circuit)`` contract: the
+    two-knob :class:`~repro.noise.model.NoiseModel` or a full
+    :class:`~repro.noise.spec.NoiseSpec` scenario.
+    """
     if rounds is None:
         rounds = code.distance or 3
     experiment = build_memory_experiment(code, schedule, rounds=rounds, basis=basis)
@@ -111,6 +117,7 @@ def estimate_logical_error_rate(
     max_failures: int | None = None,
     batch_size: int = 5_000,
     workers: int = 1,
+    noise: "NoiseSpec | str | dict | None" = None,
 ) -> LogicalErrorRate:
     """Monte-Carlo logical error rate of one SM circuit at error rate p.
 
@@ -120,6 +127,11 @@ def estimate_logical_error_rate(
     processes.  The shot loop itself lives in
     :mod:`repro.experiments.shotrunner` — one chunked, bit-packed,
     optionally parallel entry point shared by every experiment.
+
+    ``noise`` selects the scenario: ``None`` is uniform depolarizing at
+    ``p`` (+ ``idle_strength``); a token like ``"biased:10,pm=0.003"``
+    or an inline ``noise-spec-v1`` payload routes through
+    :func:`repro.noise.spec.resolve_noise`.
     """
     # Imported lazily: the experiments package imports this module.
     from ..experiments.shotrunner import estimate_logical_error_rate_chunked
@@ -137,4 +149,5 @@ def estimate_logical_error_rate(
         max_failures=max_failures,
         chunk_size=batch_size,
         workers=workers,
+        noise=noise,
     )

@@ -1,8 +1,9 @@
 """Declarative sweep campaigns over the content-addressed result store.
 
 A :class:`CampaignSpec` describes a grid — (code x schedule x idle
-strength x physical error rate x decoder x estimator x basis) plus the
-shot budget and seed — and expands into :class:`CampaignJob`\\ s.  Every
+strength x noise scenario x physical error rate x decoder x estimator x
+basis) plus the shot budget and seed — and expands into
+:class:`CampaignJob`\\ s.  Every
 job is content-addressed: its key is the SHA-256 of the canonical JSON
 encoding of everything that affects its result (``workers`` is
 deliberately excluded — the shot runner is worker-count independent by
@@ -53,7 +54,7 @@ from ..codes import BENCHMARK_CODES, load_benchmark_code, rotated_surface_code
 from ..codes.css import CSSCode
 from ..decoders.base import Decoder
 from ..decoders.metrics import dem_for, make_decoder
-from ..noise.model import NoiseModel
+from ..noise.spec import NoiseSpec, noise_display, resolve_noise
 from ..sim.dem import DetectorErrorModel
 from ..sim.sampler import DemSampler
 from .store import ResultStore, canonical_json, job_key
@@ -126,6 +127,10 @@ class CampaignJob:
     basis: str = "z"
     p: float = 1e-3
     idle_strength: float = 0.0
+    # Noise scenario: None (uniform depolarizing at p + idle_strength),
+    # a token like "biased:10,pm=0.003" scaled by p, or an inline
+    # noise-spec-v1 payload (absolute).  Hashed whenever set.
+    noise: str | dict[str, Any] | None = None
     rounds: int | None = None
     decoder: str = "auto"
     estimator: str = "direct"  # "direct" | "rare-event"
@@ -147,6 +152,16 @@ class CampaignJob:
             raise ValueError(f"unknown estimator {self.estimator!r}")
         if self.basis not in ("z", "x"):
             raise ValueError(f"unknown basis {self.basis!r}")
+        if isinstance(self.noise, NoiseSpec):
+            # Accept spec objects for ergonomics, but store the payload:
+            # the job must stay plain-JSON hashable.
+            object.__setattr__(self, "noise", self.noise.to_payload())
+        # Fail at construction, not at DEM-build time deep in a sweep.
+        self.effective_noise()
+
+    def effective_noise(self):
+        """The job's resolved :class:`~repro.noise.spec.NoiseSpec`."""
+        return resolve_noise(self.noise, self.p, self.idle_strength)
 
     def to_payload(self) -> dict[str, Any]:
         """The canonical job description — exactly what gets hashed."""
@@ -158,6 +173,10 @@ class CampaignJob:
             "p": float(self.p),
             "idle_strength": float(self.idle_strength),
             "rounds": self.rounds,
+            # new result-affecting knobs MUST hash (PR 4 convention);
+            # the default scenario is omitted so pre-existing stores
+            # keep their keys.
+            **({"noise": self.noise} if self.noise is not None else {}),
             "decoder": self.decoder,
             "estimator": self.estimator,
             "shots": int(self.shots),
@@ -211,9 +230,11 @@ class CampaignJob:
 class CampaignSpec:
     """A declarative sweep grid; :meth:`expand` yields the jobs.
 
-    Axes multiply: ``codes x schedules x idle_strengths x p_values x
-    decoders x estimators x bases``, expanded in that nesting order.
-    Scalar fields (budgets, seed, rare-event knobs) apply to every job.
+    Axes multiply: ``codes x schedules x idle_strengths x noises x
+    p_values x decoders x estimators x bases``, expanded in that nesting
+    order.  Scalar fields (budgets, seed, rare-event knobs) apply to
+    every job.  ``noises`` entries are noise tokens / inline payloads /
+    ``None`` (see :func:`repro.noise.spec.resolve_noise`).
     """
 
     name: str
@@ -224,6 +245,7 @@ class CampaignSpec:
     decoders: tuple[str, ...] = ("auto",)
     estimators: tuple[str, ...] = ("direct",)
     idle_strengths: tuple[float, ...] = (0.0,)
+    noises: tuple[Any, ...] = (None,)
     shots: int = 10_000
     max_failures: int | None = None
     rounds: int | None = None
@@ -242,6 +264,7 @@ class CampaignSpec:
             self.codes,
             self.schedules,
             self.idle_strengths,
+            self.noises,
             self.p_values,
             self.decoders,
             self.estimators,
@@ -254,6 +277,7 @@ class CampaignSpec:
                 basis=basis,
                 p=p,
                 idle_strength=idle,
+                noise=noise,
                 rounds=self.rounds,
                 decoder=decoder,
                 estimator=estimator,
@@ -269,7 +293,7 @@ class CampaignSpec:
                 tail_epsilon=self.tail_epsilon,
                 mode=self.mode,
             )
-            for code, schedule, idle, p, decoder, estimator, basis in grid
+            for code, schedule, idle, noise, p, decoder, estimator, basis in grid
         ]
 
     def to_dict(self) -> dict[str, Any]:
@@ -282,6 +306,7 @@ class CampaignSpec:
             "decoders": list(self.decoders),
             "estimators": list(self.estimators),
             "idle_strengths": list(self.idle_strengths),
+            "noises": list(self.noises),
             "shots": self.shots,
             "max_failures": self.max_failures,
             "rounds": self.rounds,
@@ -311,6 +336,7 @@ class CampaignSpec:
             "decoders",
             "estimators",
             "idle_strengths",
+            "noises",
         ):
             if key in kwargs:
                 kwargs[key] = tuple(kwargs[key])
@@ -364,6 +390,7 @@ class CompileCache:
             canonical_json(job.schedule),
             float(job.p),
             float(job.idle_strength),
+            canonical_json(job.noise),
             job.rounds,
             job.basis,
         )
@@ -372,7 +399,7 @@ class CompileCache:
         key = self._dem_key(job)
         if key not in self._dems:
             self.stats["dem_misses"] += 1
-            noise = NoiseModel(p=job.p, idle_strength=job.idle_strength)
+            noise = job.effective_noise()
             self._dems[key] = dem_for(
                 self.code(job.code),
                 self.schedule(job),
@@ -554,8 +581,9 @@ def run_campaign(
 def _describe(job: CampaignJob, labels: dict[str, str] | None) -> str:
     label = (labels or {}).get(job.key())
     sched = label or schedule_display(job.schedule)
+    noise = "" if job.noise is None else f" noise={noise_display(job.noise)}"
     return (
-        f"{job.code} {sched} {job.basis}-basis p={job.p:g} "
+        f"{job.code} {sched} {job.basis}-basis p={job.p:g}{noise} "
         f"{job.estimator} budget={job.shots}"
     )
 
@@ -585,6 +613,7 @@ def export_rows(
             "basis": payload["basis"],
             "p": payload["p"],
             "idle_strength": payload["idle_strength"],
+            "noise": noise_display(payload.get("noise")),
             "decoder": payload["decoder"],
             "estimator": payload["estimator"],
             "planned_shots": result["planned_shots"],

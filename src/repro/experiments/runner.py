@@ -25,6 +25,7 @@ from . import (
     fig13_random_starts,
     fig14_lowp,
     fig14_scaling,
+    fig15_bias,
     fig15_idle,
     fig16_zne,
     table1_codes,
@@ -124,6 +125,14 @@ EXPERIMENTS = {
             store=opts.store,
         )
     ],
+    "fig15bias": lambda opts: [
+        fig15_bias.run(
+            p_values=(3e-3,) if opts.smoke else (1e-3, 3e-3),
+            shots=_scale(opts, 240, 6000, 20_000),
+            workers=opts.workers,
+            store=opts.store,
+        )
+    ],
     "fig16": _run_fig16,
 }
 
@@ -136,6 +145,8 @@ ALIASES = {
     "figure14x": "fig14lowp",
     "fig14x": "fig14lowp",
     "figure15": "fig15",
+    "figure15bias": "fig15bias",
+    "fig15b": "fig15bias",
     "figure16": "fig16",
 }
 

@@ -29,7 +29,7 @@ from ..analysis.stats import RateEstimate
 from ..decoders.base import Decoder
 from ..decoders.metrics import LogicalErrorRate, MemoryResult, dem_for, make_decoder
 from ..gf2.bitmat import unpack_rows
-from ..noise.model import NoiseModel
+from ..noise.spec import resolve_noise
 from ..rareevent.sampler import WeightStratifiedSampler
 from ..sim.bitbatch import WORD_BITS
 from ..sim.dem import DetectorErrorModel
@@ -431,6 +431,7 @@ def estimate_logical_error_rate_chunked(
     max_failures: int | None = None,
     chunk_size: int = 5_000,
     workers: int = 1,
+    noise=None,
 ) -> LogicalErrorRate:
     """Chunk-runner-backed Monte-Carlo logical error rate.
 
@@ -438,10 +439,14 @@ def estimate_logical_error_rate_chunked(
     :func:`repro.decoders.metrics.estimate_logical_error_rate`; call
     this directly to pass runner-specific knobs (``workers``,
     ``chunk_size``, ``on_chunk``-style streaming via
-    :func:`run_shot_chunks`).
+    :func:`run_shot_chunks`).  ``noise`` is a
+    :class:`~repro.noise.spec.NoiseSpec`, a noise token, an inline
+    payload, or ``None`` (uniform depolarizing at ``p`` plus
+    ``idle_strength``) — resolved through
+    :func:`repro.noise.spec.resolve_noise`.
     """
     rng = rng or np.random.default_rng()
-    noise = NoiseModel(p=p, idle_strength=idle_strength)
+    noise = resolve_noise(noise, p, idle_strength)
     per_basis: dict[str, MemoryResult] = {}
     for basis in bases:
         dem = dem_for(code, schedule, noise, basis=basis, rounds=rounds)

@@ -10,8 +10,11 @@ sharing a store between invocations all reduce to key lookups.
 The on-disk format is a single append-only ``results.jsonl`` inside the
 store directory — one record per line, written atomically enough that a
 killed run loses at most its unfinished trailing line (which the loader
-detects and drops).  The index is rebuilt in memory on open; there is
-no separate index file to go stale.
+detects and drops).  A later writer terminates any such orphan partial
+line before appending its own record, so records written *after* an
+interrupted one survive a reload — the partial-line tolerance holds
+across interleaved writers, not just at end of file.  The index is
+rebuilt in memory on open; there is no separate index file to go stale.
 """
 
 from __future__ import annotations
@@ -115,7 +118,15 @@ class ResultStore:
         line = canonical_json(record)
         self._records[key] = record
         if self.path is not None:
-            with open(self._file, "a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
+            with open(self._file, "a+b") as fh:
+                # A writer killed mid-append leaves an unterminated
+                # partial line.  Terminate it before appending, so the
+                # loader drops exactly that orphan — not this record
+                # concatenated onto it.
+                if fh.tell() > 0:
+                    fh.seek(-1, os.SEEK_END)
+                    if fh.read(1) != b"\n":
+                        fh.write(b"\n")
+                fh.write((line + "\n").encode("utf-8"))
                 fh.flush()
                 os.fsync(fh.fileno())

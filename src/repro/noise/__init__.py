@@ -1,5 +1,27 @@
-"""Circuit-level noise models."""
+"""Circuit-level noise models and the pluggable noise-scenario registry."""
 
+from .channels import (
+    CHANNEL_REGISTRY,
+    BiasedPauliChannel,
+    DepolarizingChannel,
+    GateChannel,
+    channel_from_payload,
+    register_channel,
+)
 from .model import HARDWARE_IDLE_POINTS, NoiseModel
+from .spec import NOISE_FORMAT, NoiseSpec, noise_display, resolve_noise
 
-__all__ = ["HARDWARE_IDLE_POINTS", "NoiseModel"]
+__all__ = [
+    "BiasedPauliChannel",
+    "CHANNEL_REGISTRY",
+    "DepolarizingChannel",
+    "GateChannel",
+    "HARDWARE_IDLE_POINTS",
+    "NOISE_FORMAT",
+    "NoiseModel",
+    "NoiseSpec",
+    "channel_from_payload",
+    "noise_display",
+    "register_channel",
+    "resolve_noise",
+]

@@ -1,0 +1,175 @@
+"""Pluggable per-gate-class noise channels.
+
+A *gate channel* describes the Pauli error attached to one class of
+circuit operations (single-qubit gates, CNOTs, or the pre-measurement
+gate error).  Every channel lowers to the labeled Pauli noise ops of the
+circuit IR (``DEPOLARIZE1`` / ``DEPOLARIZE2`` / ``PAULI_CHANNEL_1``), so
+the frame simulator, the DEM extractor, the packed samplers, and the
+whole decode / rare-event stack run unchanged on any channel mix.
+
+Channels are registered by ``kind`` in :data:`CHANNEL_REGISTRY`; adding
+a new one is: subclass :class:`GateChannel`, implement
+``ops``/``to_payload``/``from_payload``, and decorate with
+:func:`register_channel`.  The payload is the serialization contract —
+it is what a :class:`~repro.noise.spec.NoiseSpec` hashes, so every
+result-affecting parameter of a channel must appear in it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+# One lowered noise instruction: (gate, targets, args).  The spec's
+# ``apply`` stamps the label of the gate the channel attaches to.
+LoweredOp = tuple[str, tuple[int, ...], tuple[float, ...]]
+
+CHANNEL_REGISTRY: dict[str, type["GateChannel"]] = {}
+
+
+def register_channel(cls: type["GateChannel"]) -> type["GateChannel"]:
+    """Class decorator: make a channel constructible from payloads."""
+    kind = cls.KIND
+    if not kind:
+        raise ValueError(f"{cls.__name__} must define a non-empty KIND")
+    existing = CHANNEL_REGISTRY.get(kind)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"channel kind {kind!r} already registered")
+    CHANNEL_REGISTRY[kind] = cls
+    return cls
+
+
+def channel_from_payload(payload: dict[str, Any]) -> "GateChannel":
+    """Rebuild a registered channel from its serialized payload."""
+    kind = payload.get("kind")
+    if kind not in CHANNEL_REGISTRY:
+        raise KeyError(
+            f"unknown channel kind {kind!r} (registered: "
+            f"{sorted(CHANNEL_REGISTRY)})"
+        )
+    return CHANNEL_REGISTRY[kind].from_payload(payload)
+
+
+@dataclass(frozen=True)
+class GateChannel:
+    """Base class for per-gate-class Pauli channels."""
+
+    KIND: ClassVar[str] = ""
+
+    def ops(self, targets: tuple[int, ...], arity: int) -> list[LoweredOp]:
+        """Lower one gate application's noise to IR instructions.
+
+        ``targets`` are the flattened qubits of the gate op the channel
+        attaches to; ``arity`` is the gate class (1 for single-qubit
+        gates and measurements, 2 for CNOT).  Returning ``[]`` means the
+        channel is a no-op at its current parameters.
+        """
+        raise NotImplementedError
+
+    def to_payload(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "GateChannel":
+        """Rebuild from :meth:`to_payload` output.
+
+        Implementations must reject unknown keys (see
+        :func:`_require_fields`): a misspelled field in a hand-written
+        payload must fail loudly, not silently run different physics —
+        the ignored key would still change the content address.
+        """
+        raise NotImplementedError
+
+
+def _require_fields(payload: dict[str, Any], allowed: set[str]) -> None:
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown channel payload fields for kind "
+            f"{payload.get('kind')!r}: {sorted(unknown)}"
+        )
+
+
+@register_channel
+@dataclass(frozen=True)
+class DepolarizingChannel(GateChannel):
+    """Uniform depolarizing noise — the paper's §6.1 gate channel.
+
+    Single-qubit applications draw one of {X, Y, Z} with probability
+    ``p/3`` each; two-qubit applications one of the fifteen non-identity
+    two-qubit Paulis with probability ``p/15`` each.
+    """
+
+    p: float
+
+    KIND: ClassVar[str] = "depolarizing"
+
+    def __post_init__(self):
+        if not 0 <= self.p <= 1:
+            raise ValueError(f"depolarizing rate {self.p} outside [0, 1]")
+
+    def ops(self, targets: tuple[int, ...], arity: int) -> list[LoweredOp]:
+        if self.p <= 0:
+            return []
+        gate = "DEPOLARIZE1" if arity == 1 else "DEPOLARIZE2"
+        return [(gate, targets, (self.p,))]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"kind": self.KIND, "p": float(self.p)}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "DepolarizingChannel":
+        _require_fields(payload, {"kind", "p"})
+        return cls(p=float(payload["p"]))
+
+
+@register_channel
+@dataclass(frozen=True)
+class BiasedPauliChannel(GateChannel):
+    """Biased Pauli noise with an eta-parameterized X/Y/Z split.
+
+    The standard bias convention: ``eta = p_z / (p_x + p_y)`` with
+    ``p_x = p_y``, at total error probability ``p``::
+
+        p_z = p * eta / (1 + eta)
+        p_x = p_y = p / (2 * (1 + eta))
+
+    ``eta = 0.5`` recovers the depolarizing split ``p/3`` each; large
+    ``eta`` is dephasing-dominated hardware.  Two-qubit applications
+    lower to *independent* single-qubit biased channels on each qubit of
+    the pair (the usual circuit-level biased-noise model) — correlated
+    two-qubit Paulis are deliberately not part of this channel.
+    """
+
+    p: float
+    eta: float
+
+    KIND: ClassVar[str] = "biased"
+
+    def __post_init__(self):
+        if not 0 <= self.p <= 1:
+            raise ValueError(f"biased channel rate {self.p} outside [0, 1]")
+        if not (self.eta > 0 and math.isfinite(self.eta)):
+            raise ValueError(f"bias eta {self.eta} must be positive and finite")
+
+    def pauli_probs(self) -> tuple[float, float, float]:
+        """The lowered (p_x, p_y, p_z) split."""
+        pz = self.p * self.eta / (1.0 + self.eta)
+        pxy = self.p / (2.0 * (1.0 + self.eta))
+        return (pxy, pxy, pz)
+
+    def ops(self, targets: tuple[int, ...], arity: int) -> list[LoweredOp]:
+        if self.p <= 0:
+            return []
+        # PAULI_CHANNEL_1 has arity 1, so a flattened two-qubit target
+        # list is exactly the independent per-qubit application.
+        return [("PAULI_CHANNEL_1", targets, self.pauli_probs())]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"kind": self.KIND, "p": float(self.p), "eta": float(self.eta)}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "BiasedPauliChannel":
+        _require_fields(payload, {"kind", "p", "eta"})
+        return cls(p=float(payload["p"]), eta=float(payload["eta"]))

@@ -15,15 +15,20 @@ with coherence time ``T`` suffers X, Y, Z each with probability
 ``(1 - exp(-t_g/T)) / 4``.  ``idle_strength = t_g / T`` is the knob swept
 in Figure 15.  Idle channels attach to every qubit not acted on in a
 TICK-delimited layer.
+
+:class:`NoiseModel` is the two-knob shorthand for this scenario.  It is
+a thin wrapper over the general pluggable :class:`~repro.noise.spec.NoiseSpec`
+(biased channels, per-gate-class rates, decoupled readout error):
+``NoiseModel(p, idle).apply`` produces op-for-op the same circuit as
+``NoiseSpec.depolarizing(p, idle).apply``.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..circuits.circuit import Circuit
-from ..circuits.gates import GATE_ARITY, MEASURE_GATES, NOISE_GATES
+from .spec import NoiseSpec
 
 
 @dataclass(frozen=True)
@@ -46,9 +51,11 @@ class NoiseModel:
     @property
     def idle_pauli_prob(self) -> float:
         """Per-Pauli idle probability from the twirling approximation."""
-        if self.idle_strength == 0:
-            return 0.0
-        return (1.0 - math.exp(-self.idle_strength)) / 4.0
+        return self.to_spec().idle_pauli_prob
+
+    def to_spec(self) -> NoiseSpec:
+        """The equivalent general noise scenario."""
+        return NoiseSpec.depolarizing(self.p, idle_strength=self.idle_strength)
 
     def apply(self, circuit: Circuit) -> Circuit:
         """Return a noisy copy of ``circuit``.
@@ -57,59 +64,7 @@ class NoiseModel:
         the detector-error-model can trace mechanisms back to schedule
         edges.
         """
-        if any(op.is_noise() for op in circuit):
-            raise ValueError("circuit already contains noise operations")
-        noisy = Circuit()
-        all_qubits = frozenset(range(circuit.num_qubits))
-        idle_p = self.idle_pauli_prob
-
-        layer_active: set[int] = set()
-        layer_had_gates = False
-
-        def close_layer():
-            nonlocal layer_had_gates
-            if idle_p > 0 and layer_had_gates:
-                idle = sorted(all_qubits - layer_active)
-                if idle:
-                    noisy.append(
-                        "PAULI_CHANNEL_1",
-                        idle,
-                        args=(idle_p, idle_p, idle_p),
-                        label=("idle",),
-                    )
-            layer_active.clear()
-            layer_had_gates = False
-
-        for op in circuit:
-            if op.gate == "TICK":
-                close_layer()
-                noisy.operations.append(op)
-                continue
-            if op.gate in GATE_ARITY and op.gate not in NOISE_GATES:
-                layer_active.update(op.targets)
-                layer_had_gates = True
-            if op.gate in MEASURE_GATES:
-                if self.p > 0:
-                    noisy.append(
-                        "DEPOLARIZE1", op.targets, args=(self.p,), label=op.label
-                    )
-                noisy.operations.append(op)
-            elif op.gate == "CNOT":
-                noisy.operations.append(op)
-                if self.p > 0:
-                    noisy.append(
-                        "DEPOLARIZE2", op.targets, args=(self.p,), label=op.label
-                    )
-            elif op.gate in ("R", "RX", "H"):
-                noisy.operations.append(op)
-                if self.p > 0:
-                    noisy.append(
-                        "DEPOLARIZE1", op.targets, args=(self.p,), label=op.label
-                    )
-            else:
-                noisy.operations.append(op)
-        close_layer()
-        return noisy
+        return self.to_spec().apply(circuit)
 
 
 # Hardware operating points for the idle-error sensitivity study (§6.3,

@@ -1,0 +1,300 @@
+"""Composable noise scenarios: the :class:`NoiseSpec`.
+
+A ``NoiseSpec`` assembles per-gate-class channels
+(:mod:`repro.noise.channels`) into one circuit-level noise scenario:
+
+* ``sq`` — channel after every single-qubit operation (R, RX, H);
+* ``cnot`` — channel after every CNOT;
+* ``meas`` — gate-error channel just before every measurement;
+* ``readout`` — an *independent* readout flip probability ``p_m``,
+  decoupled from the gate error: a basis-aligned Pauli just before the
+  measurement (X before M, Z before MX), which flips exactly that
+  outcome;
+* ``idle_strength`` — the Pauli-twirled idle channel of paper §6.3,
+  attached to every qubit not acted on in a TICK-delimited layer.
+
+Everything lowers to the labeled Pauli noise ops of the IR, so the
+frame simulator, DEM extraction, packed samplers, decoders, and the
+rare-event estimator run unchanged on any spec (the Poisson-binomial
+weight pmf already handles heterogeneous mechanism probabilities).
+
+Specs are serializable (:meth:`NoiseSpec.to_payload` — the canonical
+``noise-spec-v1`` dict) and canonical-JSON-hashable
+(:meth:`NoiseSpec.key`): the campaign engine hashes the payload into
+``CampaignJob`` keys, so every result-affecting noise knob is content-
+addressed.
+
+Caveat shared by every pre-measurement error (including ``readout``):
+the injected Pauli stays on the qubit after the measurement.  For the
+memory experiments this is exactly Stim-style readout error (ancillas
+are reset each round, data qubits are measured last), but on circuits
+that keep using a measured qubit without resetting it the flip also
+propagates forward — it is a physical error, not a classical
+record-only flip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import GATE_ARITY, MEASURE_GATES, NOISE_GATES
+from .channels import (
+    BiasedPauliChannel,
+    DepolarizingChannel,
+    GateChannel,
+    channel_from_payload,
+)
+
+NOISE_FORMAT = "noise-spec-v1"
+
+
+def _canonical_json(payload: Any) -> str:
+    # Same canonicalization as repro.experiments.store.canonical_json,
+    # inlined so the noise layer does not depend on the experiments
+    # layer (which imports this module).
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """A full noise scenario composed of per-gate-class channels."""
+
+    sq: GateChannel | None = None
+    cnot: GateChannel | None = None
+    meas: GateChannel | None = None
+    readout: float = 0.0
+    idle_strength: float = 0.0
+
+    def __post_init__(self):
+        if not 0 <= self.readout <= 1:
+            raise ValueError(f"readout flip probability {self.readout} outside [0, 1]")
+        if self.idle_strength < 0:
+            raise ValueError("idle strength must be non-negative")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def depolarizing(
+        cls, p: float, idle_strength: float = 0.0, readout: float = 0.0
+    ) -> "NoiseSpec":
+        """The paper's two-knob model: uniform depolarizing + idle.
+
+        Lowers to exactly the circuits the original ``NoiseModel``
+        produced, op for op.
+        """
+        channel = DepolarizingChannel(p) if p > 0 else None
+        return cls(
+            sq=channel,
+            cnot=channel,
+            meas=channel,
+            readout=readout,
+            idle_strength=idle_strength,
+        )
+
+    @classmethod
+    def biased(
+        cls,
+        p: float,
+        eta: float,
+        idle_strength: float = 0.0,
+        readout: float = 0.0,
+    ) -> "NoiseSpec":
+        """Biased Pauli noise at total rate ``p`` on every gate class."""
+        channel = BiasedPauliChannel(p, eta) if p > 0 else None
+        return cls(
+            sq=channel,
+            cnot=channel,
+            meas=channel,
+            readout=readout,
+            idle_strength=idle_strength,
+        )
+
+    # -- idle lowering -------------------------------------------------------
+
+    @property
+    def idle_pauli_prob(self) -> float:
+        """Per-Pauli idle probability from the twirling approximation."""
+        if self.idle_strength == 0:
+            return 0.0
+        return (1.0 - math.exp(-self.idle_strength)) / 4.0
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        """Return a noisy copy of ``circuit``.
+
+        Error channels inherit the ``label`` of the gate they attach to
+        so the detector-error-model can trace mechanisms back to
+        schedule edges.
+        """
+        if any(op.is_noise() for op in circuit):
+            raise ValueError("circuit already contains noise operations")
+        noisy = Circuit()
+        all_qubits = frozenset(range(circuit.num_qubits))
+        idle_p = self.idle_pauli_prob
+
+        layer_active: set[int] = set()
+        layer_had_gates = False
+
+        def emit(channel: GateChannel | None, op) -> None:
+            if channel is None:
+                return
+            arity = GATE_ARITY[op.gate]
+            for gate, targets, args in channel.ops(op.targets, arity):
+                noisy.append(gate, targets, args=args, label=op.label)
+
+        def close_layer():
+            nonlocal layer_had_gates
+            if idle_p > 0 and layer_had_gates:
+                idle = sorted(all_qubits - layer_active)
+                if idle:
+                    noisy.append(
+                        "PAULI_CHANNEL_1",
+                        idle,
+                        args=(idle_p, idle_p, idle_p),
+                        label=("idle",),
+                    )
+            layer_active.clear()
+            layer_had_gates = False
+
+        for op in circuit:
+            if op.gate == "TICK":
+                close_layer()
+                noisy.operations.append(op)
+                continue
+            if op.gate in GATE_ARITY and op.gate not in NOISE_GATES:
+                layer_active.update(op.targets)
+                layer_had_gates = True
+            if op.gate in MEASURE_GATES:
+                emit(self.meas, op)
+                if self.readout > 0:
+                    # Basis-aligned flip: X toggles a Z-basis outcome,
+                    # Z toggles an X-basis outcome.
+                    args = (
+                        (self.readout, 0.0, 0.0)
+                        if op.gate == "M"
+                        else (0.0, 0.0, self.readout)
+                    )
+                    noisy.append(
+                        "PAULI_CHANNEL_1", op.targets, args=args, label=op.label
+                    )
+                noisy.operations.append(op)
+            elif op.gate == "CNOT":
+                noisy.operations.append(op)
+                emit(self.cnot, op)
+            elif op.gate in ("R", "RX", "H"):
+                noisy.operations.append(op)
+                emit(self.sq, op)
+            else:
+                noisy.operations.append(op)
+        close_layer()
+        return noisy
+
+    # -- serialization / hashing ---------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """The canonical ``noise-spec-v1`` dict — exactly what hashes."""
+
+        def chan(c: GateChannel | None):
+            return None if c is None else c.to_payload()
+
+        return {
+            "format": NOISE_FORMAT,
+            "sq": chan(self.sq),
+            "cnot": chan(self.cnot),
+            "meas": chan(self.meas),
+            "readout": float(self.readout),
+            "idle_strength": float(self.idle_strength),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "NoiseSpec":
+        if payload.get("format") != NOISE_FORMAT:
+            raise ValueError(f"not a {NOISE_FORMAT} payload")
+        known = {"format", "sq", "cnot", "meas", "readout", "idle_strength"}
+        unknown = set(payload) - known
+        if unknown:
+            # A misspelled field would otherwise run different physics
+            # silently while still perturbing the content address.
+            raise ValueError(f"unknown noise-spec fields: {sorted(unknown)}")
+
+        def chan(value):
+            return None if value is None else channel_from_payload(value)
+
+        return cls(
+            sq=chan(payload.get("sq")),
+            cnot=chan(payload.get("cnot")),
+            meas=chan(payload.get("meas")),
+            readout=float(payload.get("readout", 0.0)),
+            idle_strength=float(payload.get("idle_strength", 0.0)),
+        )
+
+    def key(self) -> str:
+        """Content address of this spec (hex SHA-256 of canonical JSON)."""
+        return hashlib.sha256(
+            _canonical_json(self.to_payload()).encode("utf-8")
+        ).hexdigest()
+
+
+# -- campaign-facing resolution ----------------------------------------------
+
+
+def resolve_noise(
+    spec: "NoiseSpec | str | dict[str, Any] | None",
+    p: float,
+    idle_strength: float = 0.0,
+) -> NoiseSpec:
+    """Build the noise scenario a campaign job names.
+
+    ``None`` / ``"depolarizing"`` is the paper's two-knob model scaled
+    by the job's ``p`` and ``idle_strength``.  String tokens scale with
+    the job's ``p`` so a (noise x p) grid sweeps cleanly:
+
+    * ``"biased:<eta>"`` — biased Pauli at total rate ``p``;
+    * a ``",pm=<v>"`` suffix sets the independent readout flip —
+      absolute (``pm=0.003``) or relative to p (``pm=2p``).  A bare
+      ``"pm=<v>"`` token means depolarizing gates plus that readout.
+
+    A dict is an inline serialized ``noise-spec-v1`` payload: fully
+    absolute (how hand-built scenarios enter a campaign content-
+    addressed); the job's ``p``/``idle_strength`` do not rescale it.
+    """
+    if isinstance(spec, NoiseSpec):
+        return spec
+    if isinstance(spec, dict):
+        return NoiseSpec.from_payload(spec)
+    if spec is None:
+        return NoiseSpec.depolarizing(p, idle_strength=idle_strength)
+    if not isinstance(spec, str):
+        raise TypeError(f"noise spec must be a token, payload dict, or None: {spec!r}")
+    family, _, rest = spec.partition(",")
+    if family.startswith("pm="):
+        family, rest = "depolarizing", spec
+    readout = 0.0
+    for clause in filter(None, rest.split(",")):
+        if clause.startswith("pm="):
+            value = clause[3:]
+            readout = float(value[:-1]) * p if value.endswith("p") else float(value)
+        else:
+            raise KeyError(f"unknown noise clause {clause!r} in {spec!r}")
+    if family == "depolarizing":
+        return NoiseSpec.depolarizing(p, idle_strength=idle_strength, readout=readout)
+    if family.startswith("biased:"):
+        eta = float(family.split(":", 1)[1])
+        return NoiseSpec.biased(p, eta, idle_strength=idle_strength, readout=readout)
+    raise KeyError(f"unknown noise token {spec!r}")
+
+
+def noise_display(spec: "str | dict[str, Any] | None") -> str:
+    """Short human-readable form of a job's noise spec for tables."""
+    if spec is None:
+        return "depolarizing"
+    if isinstance(spec, dict):
+        digest = hashlib.sha256(_canonical_json(spec).encode("utf-8")).hexdigest()
+        return f"inline:{digest[:8]}"
+    return spec

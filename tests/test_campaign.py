@@ -182,6 +182,32 @@ class TestResultStore:
         reopened = ResultStore(tmp_path / "s")
         assert "k1" in reopened and "k2" not in reopened
 
+    def test_append_after_interrupted_writer_preserves_both(self, tmp_path):
+        """Two writers, interleaved partial lines — the PR 4 tolerance
+        claim: a killed writer loses *its own* unfinished trailing line,
+        never a record another writer appends after it."""
+        store_a = ResultStore(tmp_path / "s")
+        store_a.put("k1", {}, {"v": 1})
+        path = tmp_path / "s" / "results.jsonl"
+        # Writer A dies mid-append: an unterminated partial record.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "k-torn", "job": {}, "res')
+        # Writer B opens the same store and appends a full record.
+        store_b = ResultStore(tmp_path / "s")
+        assert "k1" in store_b  # loader already drops the torn line
+        store_b.put("k2", {}, {"v": 2})
+        # And dies mid-append itself; writer C appends after it.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "k-torn-2"')
+        store_c = ResultStore(tmp_path / "s")
+        store_c.put("k3", {}, {"v": 3})
+
+        reopened = ResultStore(tmp_path / "s")
+        assert {"k1", "k2", "k3"} <= set(reopened.keys())
+        assert "k-torn" not in reopened and "k-torn-2" not in reopened
+        assert reopened.get("k2")["result"] == {"v": 2}
+        assert reopened.get("k3")["result"] == {"v": 3}
+
     def test_memory_store(self):
         store = ResultStore(None)
         store.put("k", {}, {})

@@ -1,0 +1,169 @@
+"""Property tests: every noise-scenario knob must reach the job key.
+
+The ROADMAP failure mode these guard: "new result-affecting knobs MUST
+go into ``CampaignJob.to_payload`` or they silently alias cache
+entries".  With the pluggable :class:`~repro.noise.NoiseSpec`, the knob
+surface is now open-ended — so the guard is a property, not a list:
+perturbing *any single field* of a spec riding a job (channel kind,
+channel rate, bias eta, readout flip, idle strength) must change
+``CampaignJob.job_key``.  Run under the ``ci`` hypothesis profile
+(derandomized, more examples) in the dedicated CI litmus job.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.campaign import CampaignJob
+from repro.noise import (
+    BiasedPauliChannel,
+    DepolarizingChannel,
+    NoiseSpec,
+    noise_display,
+    resolve_noise,
+)
+
+# -- strategies --------------------------------------------------------------
+
+probs = st.floats(1e-6, 0.2, allow_nan=False, allow_infinity=False)
+etas = st.floats(0.01, 1000.0, allow_nan=False, allow_infinity=False)
+
+channels = st.one_of(
+    st.none(),
+    st.builds(DepolarizingChannel, p=probs),
+    st.builds(BiasedPauliChannel, p=probs, eta=etas),
+)
+
+specs = st.builds(
+    NoiseSpec,
+    sq=channels,
+    cnot=channels,
+    meas=channels,
+    readout=st.floats(0.0, 0.2, allow_nan=False, allow_infinity=False),
+    idle_strength=st.floats(0.0, 0.1, allow_nan=False, allow_infinity=False),
+)
+
+
+def _alt(value: float, a: float, b: float) -> float:
+    """A float guaranteed different from ``value``."""
+    return a if value != a else b
+
+
+def _perturb_channel(channel):
+    """Change exactly one aspect of a channel slot."""
+    if channel is None:
+        return DepolarizingChannel(p=0.0123)
+    if isinstance(channel, DepolarizingChannel):
+        return DepolarizingChannel(p=_alt(channel.p, 0.017, 0.019))
+    return BiasedPauliChannel(p=channel.p, eta=_alt(channel.eta, 7.0, 13.0))
+
+
+_FIELD_PERTURBATIONS = {
+    "sq": _perturb_channel,
+    "cnot": _perturb_channel,
+    "meas": _perturb_channel,
+    "readout": lambda v: _alt(v, 0.031, 0.057),
+    "idle_strength": lambda v: _alt(v, 0.021, 0.043),
+}
+
+# Perturbing the channel *kind* at equal parameters must also change the
+# key — "same p, different physics" is the nastiest aliasing case.
+_KIND_SWAPS = [
+    (DepolarizingChannel(p=0.01), BiasedPauliChannel(p=0.01, eta=0.5)),
+]
+
+
+def _job_with(spec: NoiseSpec) -> CampaignJob:
+    return CampaignJob(
+        code="surface_d3", schedule="nz", p=1e-3, noise=spec.to_payload()
+    )
+
+
+class TestNoiseSpecReachesJobKey:
+    @settings(deadline=None)
+    @given(spec=specs, field=st.sampled_from(sorted(_FIELD_PERTURBATIONS)))
+    def test_perturbing_any_spec_field_changes_key(self, spec, field):
+        perturbed = dataclasses.replace(
+            spec, **{field: _FIELD_PERTURBATIONS[field](getattr(spec, field))}
+        )
+        assert _job_with(perturbed).key() != _job_with(spec).key()
+
+    @settings(deadline=None)
+    @given(spec=specs, slot=st.sampled_from(("sq", "cnot", "meas")))
+    def test_channel_kind_swap_changes_key(self, spec, slot):
+        for a, b in _KIND_SWAPS:
+            with_a = dataclasses.replace(spec, **{slot: a})
+            with_b = dataclasses.replace(spec, **{slot: b})
+            assert _job_with(with_a).key() != _job_with(with_b).key()
+
+    @settings(deadline=None)
+    @given(spec=specs)
+    def test_payload_roundtrip_is_lossless(self, spec):
+        rebuilt = NoiseSpec.from_payload(spec.to_payload())
+        assert rebuilt == spec
+        assert rebuilt.key() == spec.key()
+        assert _job_with(rebuilt).key() == _job_with(spec).key()
+
+    @settings(deadline=None)
+    @given(spec=specs)
+    def test_spec_key_matches_job_key_discrimination(self, spec):
+        """Two specs collide in a job key iff their own keys collide."""
+        other = dataclasses.replace(spec, readout=_alt(spec.readout, 0.061, 0.087))
+        assert (spec.key() == other.key()) == (
+            _job_with(spec).key() == _job_with(other).key()
+        )
+
+
+class TestNoiseTokens:
+    @settings(deadline=None)
+    @given(
+        eta=st.floats(0.1, 500.0, allow_nan=False),
+        p=st.floats(1e-5, 0.05, allow_nan=False),
+    )
+    def test_token_resolution_is_deterministic(self, eta, p):
+        token = f"biased:{eta:g}"
+        assert resolve_noise(token, p) == resolve_noise(token, p)
+        assert resolve_noise(token, p).key() == resolve_noise(token, p).key()
+
+    @settings(deadline=None)
+    @given(p=st.floats(1e-4, 0.05, allow_nan=False))
+    def test_relative_readout_clause_scales_with_p(self, p):
+        spec = resolve_noise("depolarizing,pm=2p", p)
+        assert spec.readout == 2 * p
+        absolute = resolve_noise("depolarizing,pm=0.004", p)
+        assert absolute.readout == 0.004
+        # A bare pm= token defaults the gate family to depolarizing.
+        assert resolve_noise("pm=2p", p) == spec
+        assert resolve_noise("pm=0.004", p) == absolute
+
+    def test_spec_instance_coerced_to_hashable_payload(self):
+        """Passing a NoiseSpec object (not its payload) must still give
+        a JSON-hashable job, identical to the payload-built one."""
+        spec = NoiseSpec.biased(1e-3, eta=10.0)
+        via_object = CampaignJob(
+            code="surface_d3", schedule="nz", p=1e-3, noise=spec
+        )
+        assert via_object.noise == spec.to_payload()
+        assert via_object.key() == _job_with(spec).key()
+
+    def test_distinct_tokens_distinct_job_keys(self):
+        jobs = [
+            CampaignJob(code="surface_d3", schedule="nz", p=1e-3, noise=t)
+            for t in (
+                None,
+                "depolarizing",
+                "biased:0.5",
+                "biased:10",
+                "biased:10,pm=0.003",
+                "biased:10,pm=3p",
+            )
+        ]
+        keys = {j.key() for j in jobs}
+        assert len(keys) == len(jobs)
+
+    def test_display_forms(self):
+        assert noise_display(None) == "depolarizing"
+        assert noise_display("biased:10") == "biased:10"
+        inline = NoiseSpec.biased(1e-3, 10.0).to_payload()
+        assert noise_display(inline).startswith("inline:")

@@ -55,6 +55,10 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_bad_noise_token_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="bad --noise spec"):
+            cli_main(["evaluate", "surface_d3", "--noise", "biased-10"])
+
 
 class TestRunnerCli:
     def test_unknown_experiment_rejected(self):
@@ -116,9 +120,143 @@ class TestCampaignCli:
         assert len(rows) == 4
         assert {r["estimator"] for r in rows} == {"direct", "rare-event"}
 
+    def test_biased_noise_campaign_end_to_end_with_byte_identical_resume(
+        self, tmp_path, capsys
+    ):
+        """Acceptance: an (eta x p) biased-noise grid runs through
+        ``campaign run``, and losing a store suffix then resuming
+        rebuilds the exact bytes an uninterrupted run produced."""
+        import json
+
+        spec_path = tmp_path / "bias.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "bias-sweep",
+                    "codes": ["surface_d3"],
+                    "schedules": ["nz"],
+                    "p_values": [4e-3, 8e-3],
+                    "bases": ["z"],
+                    "noises": ["biased:0.5", "biased:10", "biased:100"],
+                    "shots": 192,
+                    "chunk_size": 64,
+                    "seed": 0,
+                }
+            )
+        )
+        store = tmp_path / "store"
+        assert cli_main(["campaign", "run", str(spec_path), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "6 jobs, 0 store hits, 6 executed" in out
+        assert "noise=biased:10" in out
+
+        results = store / "results.jsonl"
+
+        def records_sans_timing():
+            rows = []
+            for line in results.read_text().splitlines():
+                record = json.loads(line)
+                record["result"].pop("elapsed_s", None)  # wall clock only
+                rows.append(json.dumps(record, sort_keys=True))
+            return rows
+
+        full = records_sans_timing()
+        # Interrupt: lose the last two records, then resume.
+        lines = results.read_text().splitlines(keepends=True)
+        results.write_text("".join(lines[:-2]))
+        assert cli_main(["campaign", "run", str(spec_path), "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "4 store hits, 2 executed" in out
+        assert records_sans_timing() == full
+
+        out_file = tmp_path / "rows.json"
+        assert (
+            cli_main(
+                [
+                    "campaign",
+                    "export",
+                    str(spec_path),
+                    "--store",
+                    str(store),
+                    "--format",
+                    "json",
+                    "--output",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(out_file.read_text())
+        assert {r["noise"] for r in rows} == {
+            "biased:0.5",
+            "biased:10",
+            "biased:100",
+        }
+
     def test_run_without_spec_or_smoke_fails(self, tmp_path):
         with pytest.raises(SystemExit):
             cli_main(["campaign", "run", "--store", str(tmp_path / "s")])
+
+    def test_bad_noise_token_in_spec_file_exits_cleanly(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "typo.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "typo",
+                    "codes": ["surface_d3"],
+                    "p_values": [1e-3],
+                    "noises": ["biased-10"],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            cli_main(
+                [
+                    "campaign",
+                    "run",
+                    str(spec_path),
+                    "--store",
+                    str(tmp_path / "s"),
+                ]
+            )
+        # Non-string noise entries (TypeError) and incomplete inline
+        # channel payloads (bare KeyError) get the same clean exit.
+        # A misspelled top-level spec field and malformed JSON exit
+        # cleanly too.
+        spec_path.write_text('{"name": "x", "codes": [], "noise": ["nz"]}')
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            cli_main(
+                ["campaign", "run", str(spec_path), "--store", str(tmp_path / "s")]
+            )
+        spec_path.write_text("{not json")
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            cli_main(
+                ["campaign", "run", str(spec_path), "--store", str(tmp_path / "s")]
+            )
+        incomplete = {"format": "noise-spec-v1", "sq": {"kind": "depolarizing"}}
+        for bad_noises in ([0.5], [incomplete]):
+            spec_path.write_text(
+                json.dumps(
+                    {
+                        "name": "typo",
+                        "codes": ["surface_d3"],
+                        "p_values": [1e-3],
+                        "noises": bad_noises,
+                    }
+                )
+            )
+            with pytest.raises(SystemExit, match="bad campaign spec"):
+                cli_main(
+                    [
+                        "campaign",
+                        "run",
+                        str(spec_path),
+                        "--store",
+                        str(tmp_path / "s"),
+                    ]
+                )
 
     def test_export_csv_to_stdout(self, tmp_path, capsys):
         store = str(tmp_path / "store")

@@ -99,6 +99,7 @@ class TestRunnerRegistry:
             "fig14",
             "fig14lowp",
             "fig15",
+            "fig15bias",
             "fig16",
             "table1",
             "table2",

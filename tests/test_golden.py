@@ -1,0 +1,94 @@
+"""Golden-file regression tests for export schemas and table formatting.
+
+Pin the exact text of ``campaign export`` (CSV and JSON row schemas) and
+the fig06/fig12/fig15/fig15-bias table renderings over tiny,
+deterministic campaigns — every job seeds from its own content address,
+so these outputs are stable bytes until someone changes a schema, a
+formatter, or the sampling itself.  That is the point: such changes must
+show up in review as a golden diff, refreshed deliberately with::
+
+    pytest tests/test_golden.py --update-golden
+"""
+
+import json
+
+from repro.experiments import (
+    fig06_schedules,
+    fig12_benchmarks,
+    fig15_bias,
+    fig15_idle,
+)
+from repro.experiments.campaign import CampaignSpec, export_rows, run_campaign
+from repro.experiments.common import ExperimentResult
+
+
+def _tiny_campaign(tmp_path):
+    """A spec touching both estimators and a biased-noise cell."""
+    spec = CampaignSpec(
+        name="golden",
+        codes=("surface_d3",),
+        schedules=("nz",),
+        p_values=(4e-3,),
+        bases=("z",),
+        noises=(None, "biased:10,pm=0.003"),
+        estimators=("direct", "rare-event"),
+        shots=256,
+        chunk_size=64,
+        seed=0,
+        initial_shots=64,
+        max_rounds=2,
+        target_rel_halfwidth=0.5,
+        min_failure_weight=2,
+    )
+    return run_campaign(spec, store=tmp_path / "store")
+
+
+class TestCampaignExportGolden:
+    def test_csv_schema_and_rows(self, tmp_path, golden):
+        report = _tiny_campaign(tmp_path)
+        rows = export_rows(report.store, report.jobs)
+        result = ExperimentResult(name="campaign export")
+        for row in rows:
+            result.add(**row)
+        golden.check("campaign_export.csv", result.to_csv() + "\n")
+
+    def test_json_schema_and_rows(self, tmp_path, golden):
+        report = _tiny_campaign(tmp_path)
+        rows = export_rows(report.store, report.jobs)
+        golden.check(
+            "campaign_export.json",
+            json.dumps(rows, indent=2, sort_keys=True) + "\n",
+        )
+
+
+class TestFigureTableGolden:
+    def test_fig06_table(self, tmp_path, golden):
+        result = fig06_schedules.run(p_values=(5e-3,), shots=640, store=tmp_path / "s")
+        golden.check("fig06_table.txt", result.format_table() + "\n")
+
+    def test_fig12_table(self, tmp_path, golden):
+        result = fig12_benchmarks.run(
+            codes=("surface_d3",),
+            p_values=(3e-3,),
+            shots=320,
+            iterations=1,
+            samples=5,
+            store=tmp_path / "s",
+        )
+        golden.check("fig12_table.txt", result.format_table() + "\n")
+
+    def test_fig15_table(self, tmp_path, golden):
+        result = fig15_idle.run(
+            idle_strengths=(0.0, 1e-3),
+            shots=256,
+            store=tmp_path / "s",
+        )
+        golden.check("fig15_table.txt", result.format_table() + "\n")
+
+    def test_fig15_bias_table(self, tmp_path, golden):
+        result = fig15_bias.run(
+            p_values=(3e-3,),
+            shots=256,
+            store=tmp_path / "s",
+        )
+        golden.check("fig15_bias_table.txt", result.format_table() + "\n")

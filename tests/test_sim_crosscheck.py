@@ -20,11 +20,13 @@ import numpy as np
 import pytest
 
 from repro.circuits.circuit import Circuit
+from repro.noise import BiasedPauliChannel, DepolarizingChannel, NoiseSpec
 from repro.sim import DemSampler, FrameSimulator, extract_dem
 from repro.sim.bitbatch import BitSampleBatch, SampleBatch, pack_shots, unpack_shots
 
 NUM_RANDOM_CIRCUITS = 50
 MARGINAL_CIRCUITS = 12
+SPEC_CIRCUITS = 10
 
 
 def random_clifford_noise_circuit(
@@ -32,6 +34,7 @@ def random_clifford_noise_circuit(
     num_qubits: int = 4,
     layers: int = 5,
     p: float = 0.01,
+    include_noise: bool = True,
 ) -> Circuit:
     """A small random noisy Clifford circuit with detectors/observables.
 
@@ -40,6 +43,10 @@ def random_clifford_noise_circuit(
     observable reference random measurement subsets — both simulators
     compute *flips relative to the noiseless reference*, so agreement is
     well-defined even for physically non-deterministic detectors.
+
+    ``include_noise=False`` skips the inline channels, producing the
+    noiseless structural circuit a :class:`~repro.noise.NoiseSpec` can
+    be applied to.
     """
     circ = Circuit()
     circ.append("R", tuple(range(num_qubits)))
@@ -60,7 +67,9 @@ def random_clifford_noise_circuit(
             elif r < 0.55:
                 circ.append("R" if rng.random() < 0.5 else "RX", (q,))
         choice = rng.random()
-        if choice < 0.4:
+        if not include_noise:
+            pass
+        elif choice < 0.4:
             circ.append("DEPOLARIZE1", tuple(range(num_qubits)), (p,))
         elif choice < 0.7:
             pair = tuple(int(q) for q in rng.choice(num_qubits, 2, replace=False))
@@ -178,6 +187,132 @@ class TestCrossSimulatorMarginals:
         assert not batch.detectors.any()
         assert not batch.observables.any()
         assert int(batch.detector_counts().sum()) == 0
+
+
+def random_noise_spec(rng: np.random.Generator) -> NoiseSpec:
+    """Draw a random scenario mixing every registered channel axis."""
+
+    def channel():
+        r = rng.random()
+        if r < 0.25:
+            return None
+        p = float(rng.uniform(0.002, 0.015))
+        if r < 0.6:
+            return DepolarizingChannel(p)
+        return BiasedPauliChannel(p, eta=float(rng.choice([0.5, 2.0, 10.0, 100.0])))
+
+    return NoiseSpec(
+        sq=channel(),
+        cnot=channel(),
+        meas=channel(),
+        readout=float(rng.choice([0.0, 0.004, 0.01])),
+        idle_strength=float(rng.choice([0.0, 0.0, 0.01])),
+    )
+
+
+# One spec per channel axis in isolation, plus kitchen-sink mixes drawn
+# at random — "per channel" coverage the bit-identity contract demands.
+TARGETED_SPECS = {
+    "sq-depolarizing": NoiseSpec(sq=DepolarizingChannel(0.01)),
+    "cnot-depolarizing": NoiseSpec(cnot=DepolarizingChannel(0.01)),
+    "meas-depolarizing": NoiseSpec(meas=DepolarizingChannel(0.01)),
+    "sq-biased": NoiseSpec(sq=BiasedPauliChannel(0.01, eta=10.0)),
+    "cnot-biased": NoiseSpec(cnot=BiasedPauliChannel(0.01, eta=100.0)),
+    "meas-biased": NoiseSpec(meas=BiasedPauliChannel(0.01, eta=0.5)),
+    "readout-only": NoiseSpec(readout=0.01),
+    "idle-only": NoiseSpec(idle_strength=0.01),
+}
+
+
+class TestNoiseSpecLitmus:
+    """The litmus battery over random pluggable noise scenarios.
+
+    Every channel the registry can express must satisfy the same two
+    properties the fixed model satisfies: packed hot paths bit-identical
+    to the dense references, and frame↔DEM statistical agreement.
+    """
+
+    SHOTS = 517
+
+    def _spec_for(self, seed: int) -> tuple[Circuit, NoiseSpec]:
+        rng = np.random.default_rng(seed)
+        circ = random_clifford_noise_circuit(rng, include_noise=False)
+        names = sorted(TARGETED_SPECS)
+        if seed < len(names):
+            spec = TARGETED_SPECS[names[seed]]
+        else:
+            spec = random_noise_spec(rng)
+        return spec.apply(circ), spec
+
+    @pytest.mark.parametrize("seed", range(len(TARGETED_SPECS) + SPEC_CIRCUITS))
+    def test_packed_dense_bit_identity(self, seed):
+        noisy, _ = self._spec_for(seed)
+        sim = FrameSimulator(noisy)
+        packed = sim.sample_packed(self.SHOTS, np.random.default_rng(5000 + seed))
+        dense = sim.sample_dense(self.SHOTS, np.random.default_rng(5000 + seed))
+        assert_batches_equal(packed.to_dense(), dense)
+        sampler = DemSampler(extract_dem(noisy))
+        packed = sampler.sample_packed(self.SHOTS, np.random.default_rng(6000 + seed))
+        dense = sampler.sample_dense(self.SHOTS, np.random.default_rng(6000 + seed))
+        assert_batches_equal(packed.to_dense(), dense)
+
+    SHOTS_MARGINAL = 6_000
+    # Same O(p^2) independence-approximation slack as the fixed-model
+    # marginal check (channel rates here are capped at 0.015).
+    BIAS = 3e-3
+
+    @pytest.mark.parametrize("seed", range(len(TARGETED_SPECS) + SPEC_CIRCUITS))
+    def test_frame_dem_marginal_agreement(self, seed):
+        noisy, _ = self._spec_for(seed)
+        frame = FrameSimulator(noisy).sample_packed(
+            self.SHOTS_MARGINAL, np.random.default_rng(7000 + seed)
+        )
+        demb = DemSampler(extract_dem(noisy)).sample_packed(
+            self.SHOTS_MARGINAL, np.random.default_rng(8000 + seed)
+        )
+        assert frame.num_detectors == demb.num_detectors
+        assert frame.num_observables == demb.num_observables
+        f_det, d_det = frame.detector_counts(), demb.detector_counts()
+        for d in range(frame.num_detectors):
+            assert rates_compatible(
+                int(f_det[d]),
+                self.SHOTS_MARGINAL,
+                int(d_det[d]),
+                self.SHOTS_MARGINAL,
+                self.BIAS,
+            ), f"detector {d}: frame {f_det[d]} vs dem {d_det[d]}"
+        f_obs, d_obs = frame.observable_counts(), demb.observable_counts()
+        for o in range(frame.num_observables):
+            assert rates_compatible(
+                int(f_obs[o]),
+                self.SHOTS_MARGINAL,
+                int(d_obs[o]),
+                self.SHOTS_MARGINAL,
+                self.BIAS,
+            ), f"observable {o}: frame {f_obs[o]} vs dem {d_obs[o]}"
+
+    def test_readout_flip_hits_only_its_measurement(self):
+        """p_m on an ancilla-style measure-then-reset qubit flips exactly
+        the detectors referencing that outcome — decoupled from gates."""
+        circ = Circuit()
+        circ.append("R", (0,))
+        circ.tick()
+        circ.append("M", (0,))
+        circ.tick()
+        circ.append("R", (0,))
+        circ.tick()
+        circ.append("M", (0,))
+        circ.append("DETECTOR", (0,))
+        circ.append("DETECTOR", (1,))
+        noisy = NoiseSpec(readout=0.3).apply(circ)
+        batch = FrameSimulator(noisy).sample_packed(4096, np.random.default_rng(0))
+        counts = batch.detector_counts()
+        # Each detector flips only through its own measurement's readout
+        # channel: both marginals ~ p_m, independently.
+        for d in range(2):
+            assert 0.25 * 4096 < counts[d] < 0.35 * 4096
+        dem = extract_dem(noisy)
+        assert all(len(m.detectors) == 1 for m in dem.mechanisms)
 
 
 class TestBitBatchRepresentation:
