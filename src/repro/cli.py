@@ -153,6 +153,7 @@ def _load_campaign_spec(args):
 def cmd_campaign_run(args) -> int:
     from .experiments.campaign import run_campaign
     from .experiments.store import ResultStore
+    from .gf2 import kernels
 
     spec = _load_campaign_spec(args)
     store = ResultStore(args.store)
@@ -161,6 +162,14 @@ def cmd_campaign_run(args) -> int:
         f"campaign {spec.name!r}: {len(report.jobs)} jobs, "
         f"{report.hits} store hits, {len(report.executed)} executed"
     )
+    print(f"kernel backend: {kernels.backend_name()}")
+    if report.syndrome_stats is not None:
+        s = report.syndrome_stats
+        print(
+            f"syndrome cache: {s['hits']} hits, {s['misses']} misses, "
+            f"{s['entries']} entries across {s['files']} files "
+            f"({s['loaded']} preloaded)"
+        )
     if args.smoke:
         # The CI resume check: a second invocation of a completed
         # campaign must be pure store hits — zero sampling or decoding.
@@ -178,6 +187,26 @@ def cmd_campaign_run(args) -> int:
     return 0
 
 
+def _print_syndrome_cache_status(store_path) -> None:
+    import os
+
+    from .decoders.syncache import summarize_cache_dir
+    from .gf2 import kernels
+
+    print(f"kernel backend: {kernels.backend_name()}")
+    if store_path is None:
+        return
+    syn_dir = os.path.join(store_path, "syndromes")
+    if os.path.isdir(syn_dir):
+        s = summarize_cache_dir(syn_dir)
+        print(
+            f"syndrome cache: {s['entries']} entries across "
+            f"{s['files']} files in {syn_dir}"
+        )
+    else:
+        print("syndrome cache: empty (no syndromes/ directory yet)")
+
+
 def cmd_campaign_status(args) -> int:
     from .experiments.store import ResultStore
 
@@ -191,6 +220,7 @@ def cmd_campaign_status(args) -> int:
         print(f"store {args.store}: {len(store)} records")
         for (code, estimator), count in sorted(by_kind.items()):
             print(f"  {code:12s} {estimator:10s} {count}")
+        _print_syndrome_cache_status(store.path)
         return 0
     spec = _load_campaign_spec(args)
     jobs = spec.expand()
@@ -199,6 +229,7 @@ def cmd_campaign_status(args) -> int:
         f"campaign {spec.name!r}: {len(done)}/{len(jobs)} jobs complete, "
         f"{len(jobs) - len(done)} pending"
     )
+    _print_syndrome_cache_status(store.path)
     return 0
 
 

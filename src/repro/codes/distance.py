@@ -19,6 +19,7 @@ import numpy as np
 
 from .. import gf2
 from ..gf2.bitmat import BitMatrix
+from ..gf2.kernels import popcount_u64
 from .css import CSSCode
 
 
@@ -89,7 +90,7 @@ def min_weight_logical(
             pair_rows = []
             for i in range(m - 1):
                 xors = packed.words[i + 1 :] ^ packed.words[i]
-                w = np.bitwise_count(xors).sum(axis=1)
+                w = popcount_u64(xors).sum(axis=1)
                 keep = np.nonzero(w < best_w)[0]
                 for j in keep:
                     pair_rows.append(unperm[i] ^ unperm[i + 1 + j])

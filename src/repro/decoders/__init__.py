@@ -11,9 +11,11 @@ from .metrics import (
     estimate_logical_error_rate,
     make_decoder,
 )
+from .syncache import SyndromeCache
 
 __all__ = [
     "Decoder",
+    "SyndromeCache",
     "BpOsdDecoder",
     "LookupDecoder",
     "MatchingDecoder",

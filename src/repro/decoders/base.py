@@ -35,6 +35,7 @@ import numpy as np
 from ..gf2.bitmat import unpack_rows
 from ..sim.bitbatch import (
     BitSampleBatch,
+    mask_shot_tail,
     num_shot_words,
     popcount_words,
     scatter_unique,
@@ -48,11 +49,41 @@ class Decoder(abc.ABC):
 
     def __init__(self, dem: DetectorErrorModel):
         self.dem = dem
+        # Optional persistent syndrome→correction cache (repro.decoders.
+        # syncache), consulted by decode_batch_packed before any decoding
+        # runs.  None = no persistence; the in-memory per-decoder caches
+        # still apply.
+        self.syndrome_cache = None
 
     @abc.abstractmethod
     def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
         """Map (shots, num_detectors) syndromes to (shots, num_observables)
         predicted observable flips."""
+
+    # -- persistent syndrome cache addressing ----------------------------------
+
+    @property
+    def cache_namespace(self) -> str:
+        """Cache address component: decoder family + every parameter that
+        changes its output.  Subclasses with such parameters must extend
+        this — two decoders may share cache entries iff their namespaces
+        (and DEM fingerprints) are equal."""
+        return type(self).__name__.lower()
+
+    @property
+    def cache_key_words(self) -> int:
+        """Packed words per cached syndrome key (full detector set)."""
+        return max(1, (self.dem.num_detectors + 63) // 64)
+
+    @property
+    def cache_value_bytes(self) -> int:
+        """Bytes per cached value: the observable bits, packed."""
+        return max(1, (self.dem.num_observables + 7) // 8)
+
+    def attach_syndrome_cache(self, cache) -> None:
+        """Attach a persistent cache; the caller owns addressing (see
+        :meth:`SyndromeCache.for_decoder`)."""
+        self.syndrome_cache = cache
 
     def logical_failures(
         self, detectors: np.ndarray, observables: np.ndarray
@@ -94,9 +125,40 @@ class Decoder(abc.ABC):
                         observables[o, -1] = full >> np.uint64(64 - tail)
             return BitSampleBatch(batch.detectors, observables, shots)
         unique, inverse = unique_shot_words(batch.shot_syndromes())
-        predictions = self._decode_unique_packed(unique)
+        predictions = self._decode_unique_cached(unique)
         observables = scatter_unique(predictions, inverse)
         return BitSampleBatch(batch.detectors, observables, shots)
+
+    def _decode_unique_cached(self, unique: np.ndarray) -> np.ndarray:
+        """Consult the persistent syndrome cache around ``_decode_unique_packed``.
+
+        Cache hits skip the decoder entirely; only missed unique
+        syndromes are decoded, and their corrections are written back.
+        With no cache attached this is ``_decode_unique_packed``
+        verbatim — the cached and uncached paths are litmus-tested to be
+        bit-identical.
+        """
+        cache = self.syndrome_cache
+        if cache is None:
+            return self._decode_unique_packed(unique)
+        num_obs = self.dem.num_observables
+        values, hit_mask = cache.lookup(unique)
+        predictions = np.zeros((unique.shape[0], num_obs), dtype=np.uint8)
+        if hit_mask.any():
+            bits = np.unpackbits(values[hit_mask], axis=1, bitorder="little")
+            predictions[hit_mask] = bits[:, :num_obs]
+        miss_idx = np.nonzero(~hit_mask)[0]
+        if miss_idx.size:
+            decoded = np.asarray(
+                self._decode_unique_packed(unique[miss_idx]), dtype=np.uint8
+            )
+            predictions[miss_idx] = decoded
+            packed = np.packbits(decoded, axis=1, bitorder="little")
+            width = cache.value_bytes
+            if packed.shape[1] < width:
+                packed = np.pad(packed, ((0, 0), (0, width - packed.shape[1])))
+            cache.insert(unique[miss_idx], packed[:, :width])
+        return predictions
 
     def _decode_unique_packed(self, unique: np.ndarray) -> np.ndarray:
         """Decode deduplicated packed syndrome keys.
@@ -125,6 +187,11 @@ class Decoder(abc.ABC):
         predicted = self.decode_batch_packed(batch)
         mismatch = predicted.observables ^ batch.observables
         failed_any = np.bitwise_or.reduce(mismatch, axis=0)
+        # Both operands keep the tail-bit invariant, but this count feeds
+        # stored logical error rates — re-assert it so a single garbage
+        # tail bit (e.g. from an externally built batch at a 63-shot
+        # chunk boundary) can never inflate the failure count.
+        mask_shot_tail(failed_any[None, :], batch.shots)
         return int(popcount_words(failed_any))
 
     def count_failures_dense(self, batch: BitSampleBatch) -> int:

@@ -77,6 +77,15 @@ class BpOsdDecoder(Decoder):
         self._cache: dict[bytes, np.ndarray] = {}
         self.bp_batch_size = 128
 
+    @property
+    def cache_namespace(self) -> str:
+        # Every knob that changes BP+OSD output addresses a different
+        # persistent cache file.
+        return (
+            f"bposd:i{self.max_iterations}:osd{int(self.osd)}"
+            f":cs{self.osd_order}"
+        )
+
     # -- BP core ----------------------------------------------------------------
 
     def _bp(self, syndromes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -280,5 +289,9 @@ class BpOsdDecoder(Decoder):
 
         # Deduplicate syndromes (sub-threshold sampling repeats them a lot).
         unique, inverse = np.unique(detectors, axis=0, return_inverse=True)
+        # numpy 2.0 reshaped the axis-aware inverse to keep the input's
+        # dimensionality (reverted to flat in 2.1); flatten so indexing
+        # below is correct on 1.x, 2.0.x, and 2.1+.
+        inverse = np.asarray(inverse).reshape(-1)
         results = self._decode_unique_dense(unique)
         return results[inverse]

@@ -26,6 +26,7 @@ class LookupDecoder(Decoder):
         max_weight: int | None = None,
     ):
         super().__init__(dem)
+        self.max_weight = max_weight
         if dem.num_errors > max_errors and max_weight is None:
             raise ValueError(
                 f"{dem.num_errors} mechanisms is too many for exact lookup; "
@@ -70,6 +71,11 @@ class LookupDecoder(Decoder):
             det = np.frombuffer(key, dtype=np.uint8)
             pkey = pack_rows(det[None, :]).tobytes()
             self._packed_table[pkey] = np.frombuffer(obs_bytes, dtype=np.uint8)
+
+    @property
+    def cache_namespace(self) -> str:
+        # max_weight truncates the enumeration, changing predictions.
+        return f"lookup:w{self.max_weight}"
 
     def _decode_unique_packed(self, unique: np.ndarray) -> np.ndarray:
         """Table lookup keyed directly on the packed syndrome words."""

@@ -19,6 +19,7 @@ decodes each *distinct* syndrome only once (unique-syndrome batching).
 
 from __future__ import annotations
 
+import hashlib
 import math
 from functools import lru_cache
 
@@ -138,6 +139,27 @@ class MatchingDecoder(Decoder):
         # Kept separate from the dense byte-key cache: the two key
         # encodings live in different domains.
         self._packed_cache: dict[bytes, int] = {}
+
+    # -- persistent syndrome cache addressing ----------------------------------
+    # Matching dedups on the *subset* syndrome, so its persistent cache
+    # keys are subset words, and its namespace must pin everything that
+    # shapes the result: which observable is predicted and which
+    # detectors form the graph.
+
+    @property
+    def cache_namespace(self) -> str:
+        sub = hashlib.sha256(
+            ",".join(str(d) for d in self.subset).encode()
+        ).hexdigest()[:12]
+        return f"matching:obs{self.observable}:sub{sub}"
+
+    @property
+    def cache_key_words(self) -> int:
+        return max(1, (len(self.subset) + 63) // 64)
+
+    @property
+    def cache_value_bytes(self) -> int:
+        return 1
 
     def _build_graph(self) -> None:
         """Project mechanisms onto the subset and build the weighted graph."""
@@ -351,19 +373,42 @@ class MatchingDecoder(Decoder):
         flips = np.zeros((unique.shape[0], 1), dtype=np.uint8)
         miss_rows: list[int] = []
         miss_keys: list[bytes] = []
-        for i, key_row in enumerate(unique):
-            key = key_row.tobytes()
-            hit = self._packed_cache.get(key)
+        raw = unique.tobytes()
+        row_bytes = unique.shape[1] * 8
+        cache_get = self._packed_cache.get
+        for i in range(unique.shape[0]):
+            key = raw[i * row_bytes : (i + 1) * row_bytes]
+            hit = cache_get(key)
             if hit is None:
                 miss_rows.append(i)
                 miss_keys.append(key)
             else:
                 flips[i, 0] = hit
+        if miss_rows and self.syndrome_cache is not None:
+            # Persistent cache: syndromes decoded by earlier chunks, jobs,
+            # or campaign runs skip matching entirely.
+            values, hit_mask = self.syndrome_cache.lookup(unique[miss_rows])
+            if hit_mask.any():
+                miss_idx = np.asarray(miss_rows, dtype=np.int64)
+                cached_flips = values[:, 0] & 1
+                flips[miss_idx[hit_mask], 0] = cached_flips[hit_mask]
+                packed_cache = self._packed_cache
+                flip_list = cached_flips.tolist()
+                still: list[int] = []
+                for j, hit in enumerate(hit_mask.tolist()):
+                    if hit:
+                        packed_cache[miss_keys[j]] = flip_list[j]
+                    else:
+                        still.append(j)
+                miss_rows = [miss_rows[j] for j in still]
+                miss_keys = [miss_keys[j] for j in still]
         if miss_rows:
             decoded = self._decode_unique_keys(unique[miss_rows], nsub)
             flips[miss_rows, 0] = decoded
             for key, value in zip(miss_keys, decoded):
                 self._packed_cache[key] = int(value)
+            if self.syndrome_cache is not None:
+                self.syndrome_cache.insert(unique[miss_rows], decoded[:, None])
         observables[self.observable] = scatter_unique(flips, inverse)[0]
         return BitSampleBatch(batch.detectors, observables, shots)
 

@@ -1,0 +1,295 @@
+"""Persistent content-addressed syndrome→correction cache.
+
+At sub-threshold error rates the same few syndromes dominate every job
+that shares a DEM: one chunk, the next chunk, the neighboring campaign
+grid point, yesterday's run.  The in-memory per-decoder caches already
+exploit that within a process; this module makes the map durable and
+shared.  A :class:`SyndromeCache` persists ``packed syndrome words →
+packed observable flips`` per (DEM fingerprint, decoder namespace) in
+the campaign's :class:`~repro.experiments.store.ResultStore` directory,
+so decode cost across a campaign becomes sublinear in total shots —
+each distinct syndrome is solved once, ever.
+
+Addressing is by content, like the result store: the filename embeds
+``DetectorErrorModel.fingerprint()`` (everything that determines decode
+results) plus a decoder *namespace* (family + the parameters that change
+its output, e.g. BP iteration budget or the matching detector subset).
+A different circuit, noise level, or decoder config simply addresses a
+different file — there is no invalidation protocol, and deleting the
+cache directory is always safe.
+
+The on-disk format mirrors the result store's crash tolerance, tuned
+for millions of tiny records: one JSON header line (self-describing,
+validated on load), then one ``<syndrome-hex> <value-hex>`` entry per
+line.  Loading skips anything malformed — wrong length, bad hex, a
+partial trailing line from a killed writer — so corruption degrades to
+a cache *miss*, never a wrong correction.  Appending terminates any
+orphan partial line first (the ResultStore idiom), which keeps the file
+loadable under interleaved cross-process writers; duplicate entries are
+harmless because decoding is deterministic, so last-write-wins equals
+first-write-wins.
+"""
+
+from __future__ import annotations
+
+import binascii
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .base import Decoder
+
+FORMAT = "syndrome-cache-v1"
+
+
+def _cache_filename(dem_key: str, namespace: str) -> str:
+    # Namespaces carry human-readable decoder params; hash them into a
+    # fixed-width filesystem-safe token.
+    ns = hashlib.sha256(namespace.encode("utf-8")).hexdigest()[:12]
+    return f"syn-{dem_key[:16]}-{ns}.cache"
+
+
+def summarize_cache_dir(directory: str | os.PathLike) -> dict[str, int]:
+    """Cheap on-disk census of a syndrome-cache directory.
+
+    Counts cache files and entry lines (header excluded) without
+    parsing entries — for ``campaign status`` style reporting.
+    """
+    files = 0
+    entries = 0
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        if not (name.startswith("syn-") and name.endswith(".cache")):
+            continue
+        files += 1
+        try:
+            with open(os.path.join(directory, name), "rb") as fh:
+                entries += max(0, sum(1 for _ in fh) - 1)
+        except OSError:
+            continue
+    return {"files": files, "entries": entries}
+
+
+class SyndromeCache:
+    """One (DEM, decoder-namespace) syndrome→correction map, on disk.
+
+    ``directory=None`` gives an ephemeral in-memory cache with the same
+    API.  Keys are the raw bytes of packed per-shot syndrome words
+    (``key_bytes`` long); values are fixed-width ``value_bytes`` byte
+    strings whose meaning belongs to the owning decoder (the base
+    :class:`~repro.decoders.base.Decoder` packs its predicted observable
+    bits, little-endian).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None,
+        dem_key: str,
+        namespace: str,
+        key_bytes: int,
+        value_bytes: int,
+    ):
+        self.directory = os.fspath(directory) if directory is not None else None
+        self.dem_key = dem_key
+        self.namespace = namespace
+        self.key_bytes = int(key_bytes)
+        self.value_bytes = int(value_bytes)
+        self._table: dict[bytes, bytes] = {}
+        # Degraded mode: the file exists but is not ours (corrupt or
+        # mismatched header).  Keep serving from memory, never write —
+        # overwriting a file we cannot parse could destroy someone
+        # else's data.
+        self._read_only = False
+        self.hits = 0
+        self.misses = 0
+        self.loaded = 0
+        if self.directory is not None:
+            os.makedirs(self.directory, exist_ok=True)
+            self._load()
+
+    # -- persistence ----------------------------------------------------------
+
+    @property
+    def path(self) -> str | None:
+        if self.directory is None:
+            return None
+        return os.path.join(
+            self.directory, _cache_filename(self.dem_key, self.namespace)
+        )
+
+    def _header(self) -> str:
+        return json.dumps(
+            {
+                "format": FORMAT,
+                "dem": self.dem_key,
+                "namespace": self.namespace,
+                "key_bytes": self.key_bytes,
+                "value_bytes": self.value_bytes,
+            },
+            sort_keys=True,
+        )
+
+    def _header_matches(self, line: str) -> bool:
+        try:
+            head = json.loads(line)
+        except json.JSONDecodeError:
+            return False
+        return (
+            isinstance(head, dict)
+            and head.get("format") == FORMAT
+            and head.get("dem") == self.dem_key
+            and head.get("namespace") == self.namespace
+            and head.get("key_bytes") == self.key_bytes
+            and head.get("value_bytes") == self.value_bytes
+        )
+
+    def _load(self) -> None:
+        path = self.path
+        if path is None or not os.path.exists(path):
+            return
+        try:
+            with open(path, "rb") as fh:
+                lines = fh.read().split(b"\n")
+        except OSError:
+            self._read_only = True
+            return
+        try:
+            header = lines[0].decode("utf-8") if lines else ""
+        except UnicodeDecodeError:
+            header = ""
+        if not self._header_matches(header.strip()):
+            # Not a cache we understand (truncated header, other format,
+            # parameter drift): serve misses, never write here.
+            self._read_only = True
+            return
+        key_hex = 2 * self.key_bytes
+        value_hex = 2 * self.value_bytes
+        table = self._table
+        for line in lines[1:]:
+            # Fixed-width "<key-hex> <value-hex>": anything else —
+            # partial trailing line, garbled bytes, wrong widths — is
+            # skipped and simply decodes as a miss.
+            if len(line) != key_hex + 1 + value_hex or line[key_hex] != 0x20:
+                continue
+            try:
+                key = binascii.unhexlify(line[:key_hex])
+                value = binascii.unhexlify(line[key_hex + 1 :])
+            except (binascii.Error, ValueError):
+                continue
+            table[key] = value
+        self.loaded = len(table)
+
+    def _append(self, entries: list[tuple[bytes, bytes]]) -> None:
+        path = self.path
+        if path is None or self._read_only or not entries:
+            return
+        payload = "".join(
+            f"{key.hex()} {value.hex()}\n" for key, value in entries
+        ).encode("ascii")
+        try:
+            with open(path, "a+b") as fh:
+                if fh.tell() == 0:
+                    fh.write((self._header() + "\n").encode("utf-8"))
+                else:
+                    # Terminate an orphan partial line from a killed
+                    # writer so the loader drops exactly that orphan,
+                    # not our first entry concatenated onto it.
+                    fh.seek(-1, os.SEEK_END)
+                    if fh.read(1) != b"\n":
+                        fh.write(b"\n")
+                fh.write(payload)
+                fh.flush()
+        except OSError:
+            # Disk trouble degrades to a warm in-memory cache.
+            self._read_only = True
+
+    # -- the map --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Look up packed key rows; returns ``(values, hit_mask)``.
+
+        ``keys`` is ``(g, nwords)`` uint64; ``values`` is ``(g,
+        value_bytes)`` uint8 with missed rows zero; ``hit_mask`` is a
+        ``(g,)`` boolean.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        g = keys.shape[0]
+        values = np.zeros((g, self.value_bytes), dtype=np.uint8)
+        hit_mask = np.zeros(g, dtype=bool)
+        table = self._table
+        nhits = 0
+        if table and g:
+            # One tobytes + slicing beats a per-row ndarray.tobytes, and
+            # joining the matched values amortizes the frombuffer cost —
+            # this path runs once per chunk on every unique syndrome.
+            raw = keys.tobytes()
+            rb = keys.shape[1] * 8
+            rows: list[int] = []
+            found: list[bytes] = []
+            for i in range(g):
+                cached = table.get(raw[i * rb : (i + 1) * rb])
+                if cached is not None:
+                    rows.append(i)
+                    found.append(cached)
+            if rows:
+                values[rows] = np.frombuffer(
+                    b"".join(found), dtype=np.uint8
+                ).reshape(len(rows), self.value_bytes)
+                hit_mask[rows] = True
+                nhits = len(rows)
+        self.hits += nhits
+        self.misses += g - nhits
+        return values, hit_mask
+
+    def insert(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Record decoded corrections; persists immediately when on disk."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        values = np.ascontiguousarray(values, dtype=np.uint8)
+        if values.shape != (keys.shape[0], self.value_bytes):
+            raise ValueError(
+                f"expected values of shape {(keys.shape[0], self.value_bytes)}, "
+                f"got {values.shape}"
+            )
+        fresh: list[tuple[bytes, bytes]] = []
+        for i in range(keys.shape[0]):
+            key = keys[i].tobytes()
+            if key in self._table:
+                continue
+            value = values[i].tobytes()
+            self._table[key] = value
+            fresh.append((key, value))
+        self._append(fresh)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._table),
+            "loaded": self.loaded,
+        }
+
+    # -- construction for a decoder -------------------------------------------
+
+    @classmethod
+    def for_decoder(
+        cls, decoder: "Decoder", directory: str | os.PathLike | None
+    ) -> "SyndromeCache":
+        """The cache a decoder addresses: DEM fingerprint + its namespace."""
+        return cls(
+            directory=directory,
+            dem_key=decoder.dem.fingerprint(),
+            namespace=decoder.cache_namespace,
+            key_bytes=decoder.cache_key_words * 8,
+            value_bytes=decoder.cache_value_bytes,
+        )

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import re
 import time
 from dataclasses import dataclass, field, fields
@@ -54,6 +55,7 @@ from ..codes import BENCHMARK_CODES, load_benchmark_code, rotated_surface_code
 from ..codes.css import CSSCode
 from ..decoders.base import Decoder
 from ..decoders.metrics import dem_for, make_decoder
+from ..decoders.syncache import SyndromeCache
 from ..noise.spec import NoiseSpec, noise_display, resolve_noise
 from ..sim.dem import DetectorErrorModel
 from ..sim.sampler import DemSampler
@@ -371,6 +373,7 @@ class CompileCache:
         self._dems: dict[tuple, DetectorErrorModel] = {}
         self._decoders: dict[tuple, Decoder] = {}
         self._samplers: dict[tuple, DemSampler] = {}
+        self._syncaches: dict[tuple, SyndromeCache] = {}
         self.stats = {"dem_hits": 0, "dem_misses": 0, "decoder_misses": 0}
 
     def code(self, token: str) -> CSSCode:
@@ -424,6 +427,31 @@ class CompileCache:
             self._samplers[key] = DemSampler(self.dem(job))
         return self._samplers[key]
 
+    def syndrome_cache(
+        self, job: CampaignJob, directory: str | None
+    ) -> SyndromeCache:
+        """The persistent syndrome cache a job's decoder addresses.
+
+        Memoized alongside the decoder, so every job in the grid hitting
+        the same (DEM, decoder) shares one open cache — loaded once per
+        campaign, and its hit/miss stats aggregate across jobs.
+        """
+        key = self._dem_key(job) + (job.decoder, directory)
+        if key not in self._syncaches:
+            self._syncaches[key] = SyndromeCache.for_decoder(
+                self.decoder(job), directory
+            )
+        return self._syncaches[key]
+
+    def syndrome_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/entry totals over every cache this campaign opened."""
+        agg = {"hits": 0, "misses": 0, "entries": 0, "loaded": 0, "files": 0}
+        for cache in self._syncaches.values():
+            agg["files"] += 1
+            for k in ("hits", "misses", "entries", "loaded"):
+                agg[k] += cache.stats[k]
+        return agg
+
 
 # -- execution --------------------------------------------------------------
 
@@ -432,16 +460,30 @@ def execute_job(
     job: CampaignJob,
     cache: CompileCache | None = None,
     workers: int = 1,
+    syndrome_cache_dir: str | None = None,
 ) -> dict[str, Any]:
     """Run one job and return its JSON-safe result payload.
 
     The payload always records both the planned budget and the shots
     actually consumed — under ``max_failures`` early stopping the two
     differ, and stored CI widths must reflect real consumption.
+
+    ``syndrome_cache_dir`` enables the persistent syndrome→correction
+    cache (:mod:`repro.decoders.syncache`): the job's decoder consults
+    it before decoding anything, so syndromes solved by earlier jobs or
+    runs are free.  Cache state never changes results — only which code
+    path produces them — so it is deliberately *not* part of the job
+    key, and resumed campaigns stay byte-identical.
     """
     cache = cache or CompileCache()
     dem = cache.dem(job)
     rng = np.random.default_rng(job.seed_sequence())
+    if syndrome_cache_dir is not None and workers <= 1:
+        # Attach the campaign-shared cache to the memoized decoder (pool
+        # workers attach their own through the runner's initializer).
+        cache.decoder(job).attach_syndrome_cache(
+            cache.syndrome_cache(job, syndrome_cache_dir)
+        )
     t0 = time.monotonic()
     if job.estimator == "direct":
         est = run_shot_chunks(
@@ -455,6 +497,7 @@ def execute_job(
             max_failures=job.max_failures,
             sampler=cache.sampler(job) if workers <= 1 else None,
             dec=cache.decoder(job) if workers <= 1 else None,
+            syndrome_cache_dir=syndrome_cache_dir,
         )
         est = est.with_confidence(job.confidence)
         return {
@@ -504,6 +547,11 @@ class CampaignReport:
     hits: int = 0
     executed: list[str] = field(default_factory=list)
     records: dict[str, dict[str, Any]] = field(default_factory=dict)
+    # Aggregated persistent-syndrome-cache counters for the jobs this
+    # invocation executed (None when the cache was disabled).  Reported
+    # by `campaign run`/`status`, never stored in result records — cache
+    # warmth varies run to run, stored records must not.
+    syndrome_stats: dict[str, int] | None = None
 
     def record(self, job: CampaignJob) -> dict[str, Any]:
         return self.records[job.key()]
@@ -535,6 +583,7 @@ def run_campaign(
     cache: CompileCache | None = None,
     progress: Callable[[str], None] | None = None,
     labels: dict[str, str] | None = None,
+    syndrome_cache_dir: str | None = "auto",
 ) -> CampaignReport:
     """Run every job of a spec that the store does not already hold.
 
@@ -546,10 +595,24 @@ def run_campaign(
     results, since every job seeds from its own key).  ``labels`` maps
     job keys to display names carried into stored records for
     ``status``/``export``.
+
+    ``syndrome_cache_dir`` roots the persistent syndrome→correction
+    cache.  The default ``"auto"`` places it in ``<store>/syndromes``
+    for persistent stores (shared across runs of the same campaign
+    directory) and disables it for in-memory stores; pass ``None`` to
+    disable explicitly.  The cache only accelerates decoding — it is
+    deliberately not part of any job key, so resumed campaigns stay
+    byte-identical whether the cache is warm, cold, or deleted.
     """
     jobs = spec.expand() if isinstance(spec, CampaignSpec) else list(spec)
     store = as_store(store)
     cache = cache or CompileCache()
+    if syndrome_cache_dir == "auto":
+        syndrome_cache_dir = (
+            os.path.join(store.path, "syndromes")
+            if store.path is not None
+            else None
+        )
     report = CampaignReport(store=store, jobs=jobs)
     seen: set[str] = set()
     for i, job in enumerate(jobs):
@@ -569,12 +632,19 @@ def run_campaign(
             continue
         if progress is not None:
             progress(f"[{i + 1}/{len(jobs)}] run  {_describe(job, labels)}")
-        result = execute_job(job, cache=cache, workers=workers)
+        result = execute_job(
+            job,
+            cache=cache,
+            workers=workers,
+            syndrome_cache_dir=syndrome_cache_dir,
+        )
         store.put(
             key, job.to_payload(), result, label=(labels or {}).get(key)
         )
         report.executed.append(key)
         report.records[key] = store.get(key)
+    if syndrome_cache_dir is not None:
+        report.syndrome_stats = cache.syndrome_cache_stats()
     return report
 
 

@@ -17,9 +17,11 @@ early stopping — is a pure function of the seed root: ``workers=1`` and
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
 
@@ -28,10 +30,11 @@ import numpy as np
 from ..analysis.stats import RateEstimate
 from ..decoders.base import Decoder
 from ..decoders.metrics import LogicalErrorRate, MemoryResult, dem_for, make_decoder
+from ..decoders.syncache import SyndromeCache
 from ..gf2.bitmat import unpack_rows
 from ..noise.spec import resolve_noise
 from ..rareevent.sampler import WeightStratifiedSampler
-from ..sim.bitbatch import WORD_BITS
+from ..sim.bitbatch import WORD_BITS, BitSampleBatch
 from ..sim.dem import DetectorErrorModel
 from ..sim.sampler import DemSampler
 
@@ -62,6 +65,17 @@ def plan_chunks(shots: int, chunk_size: int) -> list[int]:
     return [aligned] * full + ([rest] if rest else [])
 
 
+def _json_state_default(value):
+    """JSON fallback for numpy pieces inside ``BitGenerator.state`` dicts."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(f"unserializable state component: {type(value).__name__}")
+
+
 def spawn_chunk_seeds(
     rng: np.random.Generator, n: int
 ) -> list[np.random.SeedSequence]:
@@ -70,12 +84,23 @@ def spawn_chunk_seeds(
     Chunk ``i`` always gets child ``i`` of the root's current spawn
     counter, so the streams do not depend on which worker runs which
     chunk — the determinism guarantee of the whole runner.
+
+    Never consumes the caller's stream.  For exotic bit generators
+    without a ``seed_seq`` the root is a pure function of the
+    generator's *state* (the old fallback drew from the rng, silently
+    perturbing the caller's subsequent draws); consecutive calls on such
+    an un-advanced generator therefore return identical children — the
+    ``seed_seq`` path, which every numpy generator has, advances its
+    spawn counter per call as before.
     """
     seed_seq = getattr(rng.bit_generator, "seed_seq", None)
     if not isinstance(seed_seq, np.random.SeedSequence):
-        # Exotic bit generator without a seed sequence: derive a root
-        # from the stream itself (still deterministic given the rng).
-        seed_seq = np.random.SeedSequence(int(rng.integers(np.iinfo(np.int64).max)))
+        state = rng.bit_generator.state
+        digest = hashlib.sha256(
+            json.dumps(state, sort_keys=True, default=_json_state_default).encode()
+        ).digest()
+        entropy = np.frombuffer(digest, dtype=np.uint32)
+        seed_seq = np.random.SeedSequence(entropy=[int(w) for w in entropy])
     return seed_seq.spawn(n)
 
 
@@ -88,12 +113,47 @@ _WORKER_DENSE: bool = False
 
 
 def _init_worker(
-    dem: DetectorErrorModel, basis: str, decoder: str, dense_reference: bool
+    dem: DetectorErrorModel,
+    basis: str,
+    decoder: str,
+    dense_reference: bool,
+    syndrome_cache_dir: str | None = None,
 ) -> None:
     global _WORKER_SAMPLER, _WORKER_DECODER, _WORKER_DENSE
     _WORKER_SAMPLER = DemSampler(dem)
     _WORKER_DECODER = make_decoder(dem, basis, decoder)
     _WORKER_DENSE = dense_reference
+    if syndrome_cache_dir is not None:
+        # Each worker opens its own handle on the shared cache file;
+        # concurrent appends are tolerated by the format (partial-line
+        # skipping + deterministic duplicate values).
+        _WORKER_DECODER.attach_syndrome_cache(
+            SyndromeCache.for_decoder(_WORKER_DECODER, syndrome_cache_dir)
+        )
+
+
+def _sample_chunk(
+    sampler: DemSampler, job: tuple[int, int, np.random.SeedSequence]
+) -> BitSampleBatch:
+    """Sampling half of a chunk: pure function of the chunk's own seed,
+    so it can run on a prefetch thread without touching decode state."""
+    _, chunk_shots, seed = job
+    rng = np.random.default_rng(seed)
+    return sampler.sample_packed(chunk_shots, rng)
+
+
+def _decode_chunk(
+    dec: Decoder,
+    job: tuple[int, int, np.random.SeedSequence],
+    batch: BitSampleBatch,
+    dense_reference: bool,
+) -> ChunkResult:
+    index, chunk_shots, _ = job
+    if dense_reference:
+        failures = dec.count_failures_dense(batch)
+    else:
+        failures = dec.count_failures_packed(batch)
+    return ChunkResult(index=index, shots=chunk_shots, failures=failures)
 
 
 def _run_chunk_with(
@@ -102,14 +162,7 @@ def _run_chunk_with(
     job: tuple[int, int, np.random.SeedSequence],
     dense_reference: bool = False,
 ) -> ChunkResult:
-    index, chunk_shots, seed = job
-    rng = np.random.default_rng(seed)
-    batch = sampler.sample_packed(chunk_shots, rng)
-    if dense_reference:
-        failures = dec.count_failures_dense(batch)
-    else:
-        failures = dec.count_failures_packed(batch)
-    return ChunkResult(index=index, shots=chunk_shots, failures=failures)
+    return _decode_chunk(dec, job, _sample_chunk(sampler, job), dense_reference)
 
 
 def _run_chunk(job: tuple[int, int, np.random.SeedSequence]) -> ChunkResult:
@@ -131,6 +184,8 @@ def run_shot_chunks(
     dense_reference: bool = False,
     sampler: DemSampler | None = None,
     dec: Decoder | None = None,
+    streaming: bool = True,
+    syndrome_cache_dir: str | None = None,
 ) -> RateEstimate:
     """Sample/decode ``shots`` shots of one DEM in chunks.
 
@@ -145,6 +200,19 @@ def run_shot_chunks(
     ``sampler``/``dec`` let a caller with a compile cache (the campaign
     engine) reuse a pre-built sampler and decoder on the inline path;
     with ``workers > 1`` each pool worker builds its own instead.
+
+    On the inline path, ``streaming=True`` overlaps sampling of chunk
+    ``k+1`` (on a single prefetch thread) with decoding of chunk ``k``.
+    Each chunk's sampling is a pure function of its own spawned seed, so
+    the overlap is bit-identical to the sequential loop; a
+    ``max_failures`` stop wastes at most one presampled chunk.
+
+    ``syndrome_cache_dir`` attaches a persistent
+    :class:`~repro.decoders.syncache.SyndromeCache` (content-addressed
+    by DEM fingerprint + decoder namespace) to the decoder — inline and
+    in every pool worker — so distinct syndromes decoded by any earlier
+    chunk, job, or run are served from disk.  A decoder injected with a
+    cache already attached keeps it.
 
     The hot path is fully packed: chunks are sampled packed and decoded
     through :meth:`~repro.decoders.base.Decoder.decode_batch_packed`
@@ -177,9 +245,33 @@ def run_shot_chunks(
             sampler = DemSampler(dem)
         if dec is None:
             dec = make_decoder(dem, basis, decoder)
-        for job in jobs:
-            if _account(_run_chunk_with(sampler, dec, job, dense_reference)):
-                break
+        if (
+            syndrome_cache_dir is not None
+            and getattr(dec, "syndrome_cache", None) is None
+        ):
+            dec.attach_syndrome_cache(
+                SyndromeCache.for_decoder(dec, syndrome_cache_dir)
+            )
+        if streaming and len(jobs) > 1:
+            # DemSampler is read-only after construction and each chunk
+            # samples from its own generator, so one prefetch thread can
+            # sample chunk k+1 while the main thread decodes chunk k.
+            with ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-prefetch"
+            ) as prefetch:
+                pending = prefetch.submit(_sample_chunk, sampler, jobs[0])
+                for k, job in enumerate(jobs):
+                    batch = pending.result()
+                    if k + 1 < len(jobs):
+                        pending = prefetch.submit(
+                            _sample_chunk, sampler, jobs[k + 1]
+                        )
+                    if _account(_decode_chunk(dec, job, batch, dense_reference)):
+                        break
+        else:
+            for job in jobs:
+                if _account(_run_chunk_with(sampler, dec, job, dense_reference)):
+                    break
     else:
         workers = min(workers, len(jobs), os.cpu_count() or 1)
         # Prefer fork (cheap workers, DEM shared copy-on-write, like the
@@ -191,7 +283,7 @@ def run_shot_chunks(
             max_workers=workers,
             mp_context=ctx,
             initializer=_init_worker,
-            initargs=(dem, basis, decoder, dense_reference),
+            initargs=(dem, basis, decoder, dense_reference, syndrome_cache_dir),
         )
         try:
             # Keep a bounded in-flight window and consume results strictly

@@ -11,11 +11,16 @@ from .core import (
     rref,
     solve,
 )
+from .kernels import available_backends, backend_name, set_backend, use_backend
 
 __all__ = [
     "BitMatrix",
     "pack_rows",
     "unpack_rows",
+    "available_backends",
+    "backend_name",
+    "set_backend",
+    "use_backend",
     "in_rowspace",
     "matmul",
     "min_weight_in_affine",

@@ -9,6 +9,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
+from .kernels import popcount_u64
+
 _WORD = 64
 
 
@@ -42,65 +45,15 @@ def unpack_rows(packed: np.ndarray, ncols: int) -> np.ndarray:
     return bits[:, :ncols].astype(np.uint8)
 
 
-# Butterfly masks for the in-register 64x64 bit transpose: at step ``j``
-# the mask selects the low ``j`` bit positions of every ``2j`` group.
-_TRANSPOSE_STEPS: list[tuple[int, int]] = [
-    (32, 0x00000000FFFFFFFF),
-    (16, 0x0000FFFF0000FFFF),
-    (8, 0x00FF00FF00FF00FF),
-    (4, 0x0F0F0F0F0F0F0F0F),
-    (2, 0x3333333333333333),
-    (1, 0x5555555555555555),
-]
-
-
 def transpose_words(words: np.ndarray, ncols: int) -> np.ndarray:
     """Transpose a bit-packed matrix without unpacking it.
 
-    ``words`` is ``(m, ceil(ncols/64))`` uint64 in :func:`pack_rows`
-    layout (bit ``j`` of row ``i`` = matrix element ``(i, j)``); the
-    result is ``(ncols, ceil(m/64))`` in the same layout, so bit ``i``
-    of result row ``j`` = element ``(i, j)``.  Works blockwise: the
-    matrix is tiled into 64x64 bit blocks and each block is transposed
-    with the classic butterfly-swap network (Hacker's Delight 7-3),
-    vectorized over all blocks at once — ``O(m * ncols / 64)`` word ops
-    with no dense intermediate.
-
-    Input tail bits (columns ``>= ncols``) are assumed zero, the
-    invariant every packer in this package maintains; output tail bits
-    (rows ``>= m``) come out zero for the same reason.
+    Dispatches to the active kernel backend (:mod:`repro.gf2.kernels`,
+    where the vectorized numpy butterfly reference now lives); kept here
+    so existing imports and the packed-layout contract stay in one
+    obvious place next to :func:`pack_rows`.
     """
-    words = np.ascontiguousarray(words, dtype=np.uint64)
-    if words.ndim != 2:
-        raise ValueError(f"expected packed 2-D words, got shape {words.shape}")
-    m, nwords = words.shape
-    row_blocks = max(1, (m + _WORD - 1) // _WORD)
-    padded = np.zeros((row_blocks * _WORD, max(1, nwords)), dtype=np.uint64)
-    if m and nwords:
-        padded[:m, :nwords] = words
-    # blocks[b, c, i] = row 64b+i, word column c.
-    blocks = np.ascontiguousarray(
-        padded.reshape(row_blocks, _WORD, -1).transpose(0, 2, 1)
-    )
-    half = np.arange(_WORD)
-    for j, mask in _TRANSPOSE_STEPS:
-        lo = half[(half & j) == 0]
-        hi = lo + j
-        shift = np.uint64(j)
-        mask = np.uint64(mask)
-        # Little-endian bit order flips the classic network: swap the
-        # *high* bit-halves of the low rows with the *low* bit-halves of
-        # the high rows (the off-diagonal sub-blocks).
-        a = blocks[..., lo]
-        b = blocks[..., hi]
-        t = ((a >> shift) ^ b) & mask
-        blocks[..., lo] = a ^ (t << shift)
-        blocks[..., hi] = b ^ t
-    # Now blocks[b, c, j] holds bit i = element (64b+i, 64c+j): word column
-    # b of transposed row 64c+j.
-    out = blocks.transpose(1, 2, 0).reshape(-1, row_blocks)
-    return np.ascontiguousarray(out[:ncols])
-
+    return kernels.transpose_words(words, ncols)
 
 
 
@@ -165,10 +118,10 @@ class BitMatrix:
         return unpack_rows(self.words, self.ncols)
 
     def row_weight(self, i: int) -> int:
-        return int(np.bitwise_count(self.words[i]).sum())
+        return int(popcount_u64(self.words[i]).sum())
 
     def row_weights(self) -> np.ndarray:
-        return np.bitwise_count(self.words).sum(axis=1).astype(np.int64)
+        return popcount_u64(self.words).sum(axis=1).astype(np.int64)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitMatrix):
@@ -279,4 +232,4 @@ class BitMatrix:
         if xm.ncols != self.ncols:
             raise ValueError("vector length must equal the number of columns")
         anded = self.words & xm.words[0]
-        return (np.bitwise_count(anded).sum(axis=1) & 1).astype(np.uint8)
+        return (popcount_u64(anded).sum(axis=1) & 1).astype(np.uint8)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..gf2 import kernels
 from ..gf2.bitmat import pack_rows, transpose_words, unpack_rows
 
 # Bits per packed word along the shot axis — the alignment every packed
@@ -113,46 +114,16 @@ def unique_shot_words(per_shot: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     produced by :func:`shot_words`).  Returns ``(unique, inverse)`` with
     ``unique`` the distinct key rows and ``inverse[s]`` the group id of
     shot ``s`` — the unique-syndrome batching core: decode ``unique``
-    once, scatter through ``inverse``.
+    once, scatter through ``inverse``.  Group *order* is arbitrary by
+    contract (kernel backends differ); group 0 is the all-zero key
+    whenever any shot has it.  Dispatches to the active kernel backend
+    (:mod:`repro.gf2.kernels`).
     """
-    per_shot = np.ascontiguousarray(per_shot, dtype=np.uint64)
-    if per_shot.ndim != 2:
-        raise ValueError(f"expected (shots, nwords) keys, got shape {per_shot.shape}")
-    shots, nwords = per_shot.shape
-    # Sub-threshold sampling makes the all-zero key the huge majority;
-    # pull those shots out before sorting so the sort cost tracks the
-    # *defective* shots only.  Group order is arbitrary by contract —
-    # callers map results back through ``inverse`` — so reserving group
-    # 0 for the zero key changes nothing downstream.
-    nonzero = per_shot.any(axis=1)
-    nz_idx = np.nonzero(nonzero)[0]
-    has_zero = nz_idx.size < shots
-    offset = 1 if has_zero else 0
-    inverse = np.zeros(shots, dtype=np.int64)
-    if nz_idx.size == 0:
-        return np.zeros((1, nwords), dtype=np.uint64), inverse
-    keys = per_shot[nz_idx]
-    if nwords == 1:
-        unique_nz, inv_nz = np.unique(keys[:, 0], return_inverse=True)
-        unique_nz = unique_nz[:, None]
-        inverse[nz_idx] = inv_nz.ravel() + offset
-    else:
-        # Multi-word keys: lexsort + run boundaries beats np.unique's
-        # void-view row sort by a wide margin.
-        order = np.lexsort(keys.T[::-1])
-        ordered = keys[order]
-        new_group = np.empty(len(ordered), dtype=bool)
-        new_group[0] = True
-        new_group[1:] = (ordered[1:] != ordered[:-1]).any(axis=1)
-        unique_nz = ordered[new_group]
-        inv_sorted = np.cumsum(new_group) - 1
-        inv_nz = np.empty(len(keys), dtype=np.int64)
-        inv_nz[order] = inv_sorted
-        inverse[nz_idx] = inv_nz + offset
-    if not has_zero:
-        return unique_nz, inverse
-    unique = np.vstack([np.zeros((1, nwords), dtype=np.uint64), unique_nz])
-    return unique, inverse
+    if np.asarray(per_shot).ndim != 2:
+        raise ValueError(
+            f"expected (shots, nwords) keys, got shape {np.asarray(per_shot).shape}"
+        )
+    return kernels.unique_shot_words(per_shot)
 
 
 def scatter_unique(values: np.ndarray, inverse: np.ndarray) -> np.ndarray:
@@ -168,11 +139,29 @@ def scatter_unique(values: np.ndarray, inverse: np.ndarray) -> np.ndarray:
 
 
 def popcount_words(words: np.ndarray, axis: int | None = None) -> np.ndarray | int:
-    """Total set bits, optionally along one axis."""
-    counts = np.bitwise_count(words)
-    if axis is None:
-        return int(counts.sum())
-    return counts.sum(axis=axis).astype(np.int64)
+    """Total set bits, optionally along one axis.
+
+    Dispatches to the active kernel backend (:mod:`repro.gf2.kernels`).
+    """
+    return kernels.popcount_words(words, axis)
+
+
+def mask_shot_tail(words: np.ndarray, shots: int) -> np.ndarray:
+    """Zero the tail bits (positions ``>= shots``) of the last word, in place.
+
+    Every producer in this module already maintains the tail-bit
+    invariant; this is the defensive re-assertion for consumers that
+    popcount words from *outside* sources (e.g. the failure-counting
+    path fed by decoder predictions), where a garbage tail bit would
+    silently inflate counts.  Returns ``words`` for chaining.
+    """
+    if words.ndim != 2 or words.shape[1] == 0:
+        return words
+    tail = shots % _WORD
+    if tail:
+        keep = (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+        words[:, -1] &= keep
+    return words
 
 
 @dataclass

@@ -20,6 +20,7 @@ edges (§5.3).
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -96,6 +97,22 @@ class DetectorErrorModel:
     def undetectable_logical_mechanisms(self) -> list[ErrorMechanism]:
         """Mechanisms that flip an observable but no detector (d_eff = 1!)."""
         return [m for m in self.mechanisms if m.observables and not m.detectors]
+
+    def fingerprint(self) -> str:
+        """Content hash of the error model, for content-addressed caches.
+
+        Covers everything that determines decode results: dimensions and
+        each mechanism's (probability, detectors, observables), in
+        mechanism order — extraction is deterministic, so equal circuits
+        yield equal fingerprints.  Provenance (``sources``) and detector
+        labels are deliberately excluded: they never affect a decoder's
+        output.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.num_detectors}:{self.num_observables}:".encode())
+        for m in self.mechanisms:
+            h.update(repr((float(m.prob), m.detectors, m.observables)).encode())
+        return h.hexdigest()
 
     def __repr__(self) -> str:
         return (

@@ -46,16 +46,23 @@ class DemSampler:
     def _sample_fires(
         self, shots: int, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Draw fire events as (shot_idx, mechanism_idx) index arrays."""
-        rows: list[np.ndarray] = []
-        cols: list[np.ndarray] = []
+        """Draw fire events as (shot_idx, mechanism_idx) index arrays.
+
+        The draw order is pinned: one vector binomial, then one
+        ``choice`` per firing mechanism in index order.  Everything
+        else here is non-random bookkeeping and free to change without
+        perturbing sampled batches.
+        """
         counts = rng.binomial(shots, self.probs)
-        for j in np.nonzero(counts)[0]:
-            hit_shots = rng.choice(shots, size=counts[j], replace=False)
-            rows.append(hit_shots)
-            cols.append(np.full(counts[j], j, dtype=np.int64))
+        fired = np.nonzero(counts)[0]
+        fired_counts = counts[fired]
+        rows = [
+            rng.choice(shots, size=c, replace=False)
+            for c in fired_counts.tolist()
+        ]
         if rows:
-            return np.concatenate(rows), np.concatenate(cols)
+            cols = np.repeat(fired.astype(np.int64), fired_counts)
+            return np.concatenate(rows), cols
         return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
 
     # -- packed hot path -----------------------------------------------------

@@ -77,6 +77,141 @@ class TestSeedSpawning:
         assert [s.spawn_key for s in first] != [s.spawn_key for s in second]
 
 
+class _NoSeedSeq(np.random.PCG64):
+    """A bit generator that hides its seed sequence — the shape of
+    third-party generators the fallback path exists for."""
+
+    @property
+    def seed_seq(self):  # numpy's is a plain attribute-backed property
+        return None
+
+
+class TestSeedSpawningFallback:
+    """Generators without ``seed_seq`` must not have their stream
+    consumed (the old fallback drew from the rng, silently perturbing
+    every draw the caller made afterwards)."""
+
+    def _rng(self, seed=42):
+        return np.random.Generator(_NoSeedSeq(seed))
+
+    def test_state_untouched_and_stream_unperturbed(self):
+        rng = self._rng()
+        control = self._rng()
+        spawn_chunk_seeds(rng, 8)
+        assert rng.bit_generator.state == control.bit_generator.state
+        assert np.array_equal(rng.random(16), control.random(16))
+
+    def test_deterministic_and_distinct(self):
+        a = spawn_chunk_seeds(self._rng(), 4)
+        b = spawn_chunk_seeds(self._rng(), 4)
+        states_a = [tuple(s.generate_state(2)) for s in a]
+        states_b = [tuple(s.generate_state(2)) for s in b]
+        assert states_a == states_b
+        assert len(set(states_a)) == 4
+
+    def test_children_track_generator_state(self):
+        rng = self._rng()
+        first = spawn_chunk_seeds(rng, 2)
+        # Documented fallback semantics: un-advanced generator, same
+        # children (there is no spawn counter to bump without drawing).
+        again = spawn_chunk_seeds(rng, 2)
+        assert [tuple(s.generate_state(2)) for s in first] == [
+            tuple(s.generate_state(2)) for s in again
+        ]
+        rng.random()  # caller advances the stream → new root
+        moved = spawn_chunk_seeds(rng, 2)
+        assert [tuple(s.generate_state(2)) for s in first] != [
+            tuple(s.generate_state(2)) for s in moved
+        ]
+
+    def test_runner_reproducible_with_fallback_rng(self, d3_dem):
+        runs = [
+            run_shot_chunks(
+                d3_dem, shots=640, rng=self._rng(7), chunk_size=256
+            )
+            for _ in range(2)
+        ]
+        assert (runs[0].failures, runs[0].shots) == (
+            runs[1].failures,
+            runs[1].shots,
+        )
+
+
+class TestTailWordBoundaries:
+    """Shot counts straddling the 64-bit word boundary (satellite
+    regression: garbage tail bits in the last word must never leak into
+    failure counts)."""
+
+    @pytest.mark.parametrize("shots", [63, 64, 65, 127, 128, 129])
+    def test_packed_equals_dense_through_runner(self, noisy_dem, shots):
+        counts = {}
+        for dense in (False, True):
+            est = run_shot_chunks(
+                noisy_dem,
+                shots=shots,
+                rng=np.random.default_rng(31),
+                chunk_size=64,
+                dense_reference=dense,
+            )
+            counts[dense] = (est.failures, est.shots)
+        assert counts[False] == counts[True]
+        assert counts[False][1] == shots
+
+    def test_failures_bounded_by_shots(self, noisy_dem):
+        # With garbage tail bits, 63 shots could report up to 64
+        # failures; the count must respect the true shot count.
+        est = run_shot_chunks(
+            noisy_dem, shots=63, rng=np.random.default_rng(2), chunk_size=64
+        )
+        assert 0 <= est.failures <= 63
+
+
+class TestStreaming:
+    """The prefetch overlap must be invisible: bit-identical results,
+    in-order chunk streaming, and the same early-stop point."""
+
+    def test_streaming_matches_sequential(self, d3_dem):
+        results = {}
+        for streaming in (False, True):
+            est = run_shot_chunks(
+                d3_dem,
+                shots=2000,
+                rng=np.random.default_rng(123),
+                chunk_size=256,
+                streaming=streaming,
+            )
+            results[streaming] = (est.failures, est.shots)
+        assert results[False] == results[True]
+
+    def test_streaming_chunks_in_order(self, d3_dem):
+        seen = []
+        est = run_shot_chunks(
+            d3_dem,
+            shots=1500,
+            rng=np.random.default_rng(5),
+            chunk_size=256,
+            streaming=True,
+            on_chunk=seen.append,
+        )
+        assert [c.index for c in seen] == list(range(len(seen)))
+        assert sum(c.shots for c in seen) == est.shots == 1500
+
+    def test_streaming_early_stop_identical(self, noisy_dem):
+        results = {}
+        for streaming in (False, True):
+            est = run_shot_chunks(
+                noisy_dem,
+                shots=20_000,
+                rng=np.random.default_rng(7),
+                chunk_size=256,
+                max_failures=10,
+                streaming=streaming,
+            )
+            results[streaming] = (est.failures, est.shots)
+        assert results[False] == results[True]
+        assert results[True][1] < 20_000
+
+
 class TestRunnerDeterminism:
     def test_workers_1_vs_4_identical(self, d3_dem):
         results = {}

@@ -1,0 +1,342 @@
+"""Persistent syndrome→correction cache: durability and bit-identity.
+
+The cache may only ever *accelerate* decoding.  These tests pin the two
+halves of that contract: (1) any on-disk damage — truncated header,
+garbled hex, torn trailing line, interleaved partial writes — degrades
+to a cache miss (recompute), never a wrong correction; (2) a warm cache
+produces bit-for-bit the same packed decode as a cold one, which itself
+matches the dense reference (the litmus battery, extended to the
+cache-hit path).
+"""
+
+import numpy as np
+import pytest
+from test_decoders_packed import assert_packed_matches_dense
+
+from repro.circuits import nz_schedule
+from repro.codes import rotated_surface_code
+from repro.decoders import (
+    BpOsdDecoder,
+    LookupDecoder,
+    MatchingDecoder,
+    SyndromeCache,
+    detector_subset_for_basis,
+)
+from repro.decoders.metrics import dem_for
+from repro.decoders.syncache import summarize_cache_dir
+from repro.noise import NoiseModel
+from repro.sim import DemSampler
+from repro.sim.bitbatch import unpack_shots
+
+
+@pytest.fixture(scope="module")
+def surface_dem():
+    code = rotated_surface_code(3)
+    return dem_for(code, nz_schedule(code), NoiseModel(p=3e-3), basis="z", rounds=3)
+
+
+def _cache(directory, key_bytes=8, value_bytes=2):
+    return SyndromeCache(
+        directory,
+        dem_key="a" * 64,
+        namespace="test:ns",
+        key_bytes=key_bytes,
+        value_bytes=value_bytes,
+    )
+
+
+def _keys(n, nwords=1, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**63, size=(n, nwords), dtype=np.uint64)
+
+
+class TestRoundTrip:
+    def test_insert_lookup_persist_reopen(self, tmp_path):
+        cache = _cache(tmp_path)
+        keys = _keys(5)
+        values = np.arange(10, dtype=np.uint8).reshape(5, 2)
+        got, hit = cache.lookup(keys)
+        assert not hit.any()
+        cache.insert(keys, values)
+        got, hit = cache.lookup(keys)
+        assert hit.all() and np.array_equal(got, values)
+        # A fresh instance reloads everything from disk.
+        reopened = _cache(tmp_path)
+        assert reopened.loaded == 5
+        got, hit = reopened.lookup(keys)
+        assert hit.all() and np.array_equal(got, values)
+
+    def test_memory_mode(self):
+        cache = _cache(None)
+        keys = _keys(3)
+        cache.insert(keys, np.ones((3, 2), dtype=np.uint8))
+        _, hit = cache.lookup(keys)
+        assert hit.all() and cache.path is None
+
+    def test_duplicate_insert_not_reappended(self, tmp_path):
+        cache = _cache(tmp_path)
+        keys = _keys(4)
+        values = np.zeros((4, 2), dtype=np.uint8)
+        cache.insert(keys, values)
+        size = (tmp_path / _name(cache)).stat().st_size
+        cache.insert(keys, values)  # all already present
+        assert (tmp_path / _name(cache)).stat().st_size == size
+
+    def test_value_shape_validated(self, tmp_path):
+        cache = _cache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.insert(_keys(2), np.zeros((2, 3), dtype=np.uint8))
+
+    def test_stats_count_hits_and_misses(self, tmp_path):
+        cache = _cache(tmp_path)
+        keys = _keys(4)
+        cache.lookup(keys)
+        cache.insert(keys, np.zeros((4, 2), dtype=np.uint8))
+        cache.lookup(keys[:2])
+        assert cache.stats == {"hits": 2, "misses": 4, "entries": 4, "loaded": 0}
+
+
+def _name(cache):
+    import os
+
+    return os.path.basename(cache.path)
+
+
+class TestCorruptionDegradesToMiss:
+    def test_truncated_trailing_line_dropped(self, tmp_path):
+        cache = _cache(tmp_path)
+        keys = _keys(3)
+        cache.insert(keys, np.full((3, 2), 7, dtype=np.uint8))
+        path = tmp_path / _name(cache)
+        text = path.read_text()
+        path.write_text(text[:-5])  # tear into the last entry
+        reopened = _cache(tmp_path)
+        _, hit = reopened.lookup(keys)
+        assert hit.sum() == 2  # torn entry is a miss, not garbage
+        assert not reopened._read_only  # file is still ours to append to
+
+    def test_garbled_lines_skipped(self, tmp_path):
+        cache = _cache(tmp_path)
+        keys = _keys(2)
+        cache.insert(keys, np.full((2, 2), 9, dtype=np.uint8))
+        path = tmp_path / _name(cache)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("nothexatall zz\n")  # bad hex
+            fh.write("abcd\n")  # missing value column
+            fh.write("00112233445566 aabb\n")  # wrong key width (7 bytes)
+            fh.write("0011223344556677 aa\n")  # wrong value width (1 byte)
+        reopened = _cache(tmp_path)
+        assert len(reopened) == 2
+        _, hit = reopened.lookup(keys)
+        assert hit.all()
+
+    def test_corrupt_header_means_read_only_misses(self, tmp_path):
+        cache = _cache(tmp_path)
+        cache.insert(_keys(2), np.zeros((2, 2), dtype=np.uint8))
+        path = tmp_path / _name(cache)
+        original = path.read_text()
+        path.write_text("not json\n" + original)
+        degraded = _cache(tmp_path)
+        assert degraded._read_only and len(degraded) == 0
+        _, hit = degraded.lookup(_keys(2))
+        assert not hit.any()
+        # Writes are refused: the unparseable file is never touched.
+        degraded.insert(_keys(2, seed=1), np.ones((2, 2), dtype=np.uint8))
+        assert path.read_text() == "not json\n" + original
+
+    def test_parameter_drift_means_read_only(self, tmp_path):
+        """Same filename, different widths in the header: treat as
+        foreign, serve misses, never overwrite."""
+        cache = _cache(tmp_path, value_bytes=2)
+        cache.insert(_keys(1), np.zeros((1, 2), dtype=np.uint8))
+        clashing = SyndromeCache(
+            tmp_path,
+            dem_key=cache.dem_key,
+            namespace=cache.namespace,
+            key_bytes=cache.key_bytes,
+            value_bytes=4,
+        )
+        assert clashing._read_only and len(clashing) == 0
+
+    def test_empty_file_means_read_only(self, tmp_path):
+        cache = _cache(tmp_path)
+        (tmp_path / _name(cache)).write_text("")
+        reopened = _cache(tmp_path)
+        assert reopened._read_only
+
+
+class TestConcurrentWriters:
+    def test_append_after_interrupted_writer_preserves_both(self, tmp_path):
+        """Mirrors the ResultStore torn-line tolerance: a killed writer
+        loses its own unfinished trailing line, never an entry another
+        process appends after it."""
+        a = _cache(tmp_path)
+        keys_a = _keys(2, seed=1)
+        a.insert(keys_a, np.full((2, 2), 1, dtype=np.uint8))
+        path = tmp_path / _name(a)
+        # Writer A dies mid-append: an unterminated partial entry.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("0011223344556677 a")
+        # Writer B opens the same cache and appends a full entry.
+        b = _cache(tmp_path)
+        assert b.loaded == 2
+        keys_b = _keys(2, seed=2)
+        b.insert(keys_b, np.full((2, 2), 2, dtype=np.uint8))
+        # B dies mid-append itself; writer C appends after it.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("8899aabbccddeeff")
+        c = _cache(tmp_path)
+        c.insert(_keys(1, seed=3), np.full((1, 2), 3, dtype=np.uint8))
+
+        reopened = _cache(tmp_path)
+        assert len(reopened) == 5
+        for keys, fill in ((keys_a, 1), (keys_b, 2), (_keys(1, seed=3), 3)):
+            got, hit = reopened.lookup(keys)
+            assert hit.all() and (got == fill).all()
+
+    def test_cross_process_writers(self, tmp_path):
+        """Two real processes interleaving inserts keep the file
+        loadable and complete."""
+        import subprocess
+        import sys
+
+        script = """
+import sys
+import numpy as np
+from repro.decoders import SyndromeCache
+seed = int(sys.argv[2])
+cache = SyndromeCache(sys.argv[1], dem_key="a" * 64,
+                      namespace="test:ns", key_bytes=8, value_bytes=2)
+rng = np.random.default_rng(seed)
+for _ in range(20):
+    keys = rng.integers(0, 2**63, size=(5, 1), dtype=np.uint64)
+    cache.insert(keys, np.full((5, 2), seed, dtype=np.uint8))
+"""
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path), str(seed)],
+            )
+            for seed in (1, 2)
+        ]
+        for p in procs:
+            assert p.wait() == 0
+        reopened = _cache(tmp_path)
+        # Every writer's entries survive (keys are disjoint w.h.p.).
+        assert len(reopened) == 200
+
+
+class TestDecoderBitIdentity:
+    """Litmus extension: warm-cache decodes ≡ cold ≡ dense reference."""
+
+    def _warm_vs_cold(self, dem, make_decoder, shots, tmp_path):
+        rng_seed = shots
+        cold = make_decoder()
+        cold.attach_syndrome_cache(SyndromeCache.for_decoder(cold, tmp_path))
+        assert_packed_matches_dense(dem, cold, shots, np.random.default_rng(rng_seed))
+        assert cold.syndrome_cache.stats["entries"] > 0
+
+        warm = make_decoder()  # fresh decoder, no in-memory state
+        warm.attach_syndrome_cache(SyndromeCache.for_decoder(warm, tmp_path))
+        assert warm.syndrome_cache.loaded == cold.syndrome_cache.stats["entries"]
+        assert_packed_matches_dense(dem, warm, shots, np.random.default_rng(rng_seed))
+        assert warm.syndrome_cache.stats["misses"] == 0
+
+        batch = DemSampler(dem).sample_packed(shots, np.random.default_rng(rng_seed))
+        got_cold = cold.decode_batch_packed(batch).observables
+        got_warm = warm.decode_batch_packed(batch).observables
+        assert np.array_equal(got_cold, got_warm)
+
+    @pytest.mark.parametrize("shots", [65, 1000])
+    def test_matching_warm_equals_cold(self, surface_dem, shots, tmp_path):
+        self._warm_vs_cold(
+            surface_dem,
+            lambda: MatchingDecoder(
+                surface_dem, detector_subset_for_basis(surface_dem, "z")
+            ),
+            shots,
+            tmp_path,
+        )
+
+    @pytest.mark.parametrize("shots", [65, 500])
+    def test_bposd_warm_equals_cold(self, surface_dem, shots, tmp_path):
+        self._warm_vs_cold(
+            surface_dem, lambda: BpOsdDecoder(surface_dem), shots, tmp_path
+        )
+
+    def test_lookup_warm_equals_cold(self, tmp_path):
+        from repro.circuits import Circuit
+        from repro.sim import extract_dem
+
+        c = Circuit()
+        c.append("R", [0, 1, 2])
+        c.append("DEPOLARIZE1", [0, 1, 2], args=[0.05])
+        c.append("CNOT", [0, 2])
+        c.append("CNOT", [1, 2])
+        c.append("M", [0, 1, 2])
+        c.append("DETECTOR", [2])
+        c.append("OBSERVABLE_INCLUDE", [0], args=[0])
+        dem = extract_dem(c)
+        self._warm_vs_cold(dem, lambda: LookupDecoder(dem), 200, tmp_path)
+
+    def test_corrupted_cache_never_wrong_correction(self, surface_dem, tmp_path):
+        """Damage every stored entry; the decode must recompute and
+        still match the dense reference exactly."""
+        dec = BpOsdDecoder(surface_dem)
+        dec.attach_syndrome_cache(SyndromeCache.for_decoder(dec, tmp_path))
+        assert_packed_matches_dense(
+            surface_dem, dec, 500, np.random.default_rng(0)
+        )
+        path = dec.syndrome_cache.path
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        # Garble every entry's value column (not valid hex).
+        damaged = [lines[0]] + [
+            line.split(" ")[0] + " zz" for line in lines[1:]
+        ]
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(damaged) + "\n")
+        fresh = BpOsdDecoder(surface_dem)
+        fresh.attach_syndrome_cache(SyndromeCache.for_decoder(fresh, tmp_path))
+        assert fresh.syndrome_cache.loaded == 0  # all damaged → misses
+        assert_packed_matches_dense(
+            surface_dem, fresh, 500, np.random.default_rng(0)
+        )
+
+    def test_namespaces_address_distinct_files(self, surface_dem, tmp_path):
+        """Decoder parameters that change output must not share a file."""
+        subset = detector_subset_for_basis(surface_dem, "z")
+        a = MatchingDecoder(surface_dem, subset)
+        b = BpOsdDecoder(surface_dem)
+        c = BpOsdDecoder(surface_dem, max_iterations=7)
+        paths = set()
+        for dec in (a, b, c):
+            dec.attach_syndrome_cache(SyndromeCache.for_decoder(dec, tmp_path))
+            paths.add(dec.syndrome_cache.path)
+        assert len(paths) == 3
+
+    def test_base_path_roundtrips_observable_bits(self, surface_dem, tmp_path):
+        """The generic Decoder cache path (used by lookup/bposd) packs
+        and unpacks observable rows losslessly, including tail bits."""
+        dec = BpOsdDecoder(surface_dem)
+        dec.attach_syndrome_cache(SyndromeCache.for_decoder(dec, tmp_path))
+        batch = DemSampler(surface_dem).sample_packed(
+            300, np.random.default_rng(11)
+        )
+        want = dec.decode_batch(batch.detectors_dense())
+        warm = BpOsdDecoder(surface_dem)
+        warm.attach_syndrome_cache(SyndromeCache.for_decoder(warm, tmp_path))
+        dec.decode_batch_packed(batch)  # populate
+        got = unpack_shots(warm.decode_batch_packed(batch).observables, 300)
+        assert np.array_equal(got, want)
+
+
+def test_summarize_cache_dir(tmp_path):
+    cache = _cache(tmp_path)
+    cache.insert(_keys(5), np.zeros((5, 2), dtype=np.uint8))
+    other = SyndromeCache(
+        tmp_path, dem_key="b" * 64, namespace="other", key_bytes=8, value_bytes=1
+    )
+    other.insert(_keys(3, seed=9), np.zeros((3, 1), dtype=np.uint8))
+    (tmp_path / "unrelated.txt").write_text("not a cache\n")
+    assert summarize_cache_dir(tmp_path) == {"files": 2, "entries": 8}
+    assert summarize_cache_dir(tmp_path / "missing") == {"files": 0, "entries": 0}
