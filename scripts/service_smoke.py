@@ -1,0 +1,114 @@
+"""CI gate for the distributed campaign service.
+
+Runs the built-in smoke campaign twice:
+
+* store A — single-process :func:`repro.experiments.campaign.run_campaign`;
+* store B — served through the lease protocol with real worker
+  *processes*: one chaos worker that hard-exits after its first job
+  (leaving its lease dangling), then two racing workers that finish the
+  queue, taking the dead worker's group over once the lease expires.
+
+Both stores are then compacted and every shard file byte-compared.
+Any divergence — ordering, provenance leaking into results, a job
+skipped or doubled with different bytes — fails the gate.
+
+Usage: PYTHONPATH=src python scripts/service_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.campaign import run_campaign, smoke_spec  # noqa: E402
+from repro.experiments.service import write_queue  # noqa: E402
+from repro.experiments.store import ResultStore  # noqa: E402
+
+
+def spawn_worker(store: str, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src")]
+        + env.get("PYTHONPATH", "").split(os.pathsep)
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "campaign",
+            "worker",
+            "--store",
+            store,
+            "--poll",
+            "0.05",
+            *extra,
+        ],
+        env=env,
+    )
+
+
+def shard_bytes(path: str) -> dict[str, bytes]:
+    out = {}
+    for name in sorted(os.listdir(path)):
+        if name.startswith("results") and name.endswith(".jsonl"):
+            with open(os.path.join(path, name), "rb") as fh:
+                out[name] = fh.read()
+    return out
+
+
+def main(workdir: str) -> int:
+    spec = smoke_spec()
+    single = os.path.join(workdir, "single")
+    fleet = os.path.join(workdir, "fleet")
+
+    print("== single-process reference ==")
+    run_campaign(spec, store=single, progress=print)
+
+    print("== distributed run: chaos worker + 2 racing workers ==")
+    write_queue(fleet, spec.expand(), name=spec.name)
+    chaos = spawn_worker(fleet, "--ttl", "1", "--chaos-exit-after", "1")
+    code = chaos.wait(timeout=300)
+    if code != 42:
+        print(f"FAIL: chaos worker exited {code}, expected hard-exit 42")
+        return 1
+    print("chaos worker died holding its lease (as designed)")
+    workers = [
+        spawn_worker(fleet, "--ttl", "2", "--timeout", "240", "--worker-id", f"w{i}")
+        for i in range(2)
+    ]
+    for proc in workers:
+        if proc.wait(timeout=300) != 0:
+            print("FAIL: worker exited nonzero")
+            return 1
+
+    a = ResultStore(single)
+    b = ResultStore(fleet)
+    print(f"records: single={len(a)} fleet={len(b)}")
+    if sorted(a.keys()) != sorted(b.keys()):
+        print("FAIL: stores hold different job keys")
+        return 1
+    if a.content_digest() != b.content_digest():
+        print("FAIL: content digests differ before compaction")
+        return 1
+    a.compact()
+    b.compact()
+    sa, sb = shard_bytes(single), shard_bytes(fleet)
+    if sa != sb:
+        print(f"FAIL: compacted shards differ: {sorted(sa)} vs {sorted(sb)}")
+        return 1
+    print(f"OK: {len(a)} records, {len(sa)} shards, byte-identical stores")
+    print(f"content digest: {a.content_digest()}")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        os.makedirs(sys.argv[1], exist_ok=True)
+        sys.exit(main(sys.argv[1]))
+    with tempfile.TemporaryDirectory() as td:
+        sys.exit(main(td))

@@ -15,6 +15,7 @@ system inventory and per-experiment index.
 
 from . import (
     analysis,
+    api,
     circuits,
     codes,
     core,
@@ -32,6 +33,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "api",
     "circuits",
     "codes",
     "core",

@@ -207,6 +207,116 @@ def _print_syndrome_cache_status(store_path) -> None:
         print("syndrome cache: empty (no syndromes/ directory yet)")
 
 
+def _print_service_status(store) -> None:
+    import time
+
+    from .experiments import service
+
+    layout = "sharded" if store.sharded else "legacy single-file"
+    print(f"store layout: {layout}")
+    if store.path is None:
+        return
+    entries = None
+    try:
+        entries = service.read_queue(store.path)
+    except ValueError as exc:
+        print(f"service queue: UNREADABLE ({exc})")
+    if entries is not None:
+        pending = sum(1 for e in entries if e["key"] not in store)
+        print(f"service queue: {len(entries)} jobs, {pending} pending")
+    ldir = service.lease_dir(store.path)
+    try:
+        names = sorted(n for n in os.listdir(ldir) if n.endswith(".lease"))
+    except OSError:
+        names = []
+    if names:
+        now = time.time()
+        live = expired = 0
+        for name in names:
+            lease = service.read_lease(os.path.join(ldir, name)) or {}
+            if service.lease_expired(lease, now):
+                expired += 1
+            else:
+                live += 1
+        print(f"leases: {live} live, {expired} expired")
+
+
+def cmd_campaign_serve(args) -> int:
+    from .experiments.service import serve_campaign
+
+    spec = _load_campaign_spec(args)
+    try:
+        report = serve_campaign(
+            spec,
+            args.store,
+            n_workers=args.n_workers,
+            ttl=args.ttl,
+            poll=args.poll,
+            wait=not args.no_wait,
+            timeout=args.timeout,
+            progress=print if args.verbose else None,
+        )
+    except TimeoutError as exc:
+        raise SystemExit(f"serve timed out: {exc}")
+    print(
+        f"campaign {spec.name!r} served: {report.total_jobs} jobs queued "
+        f"({report.already_stored} already stored) -> {report.queue_file}"
+    )
+    for w in report.workers:
+        print(
+            f"  {w.worker_id}: {len(w.executed)} executed, "
+            f"{w.claims} claims, {w.takeovers} takeovers"
+        )
+    if args.no_wait and args.n_workers == 0:
+        print("queue published; attach workers with: repro campaign worker "
+              f"--store {args.store}")
+    return 0
+
+
+def cmd_campaign_worker(args) -> int:
+    from .experiments.service import worker_loop
+
+    report = worker_loop(
+        args.store,
+        worker_id=args.worker_id,
+        ttl=args.ttl,
+        poll=args.poll,
+        once=args.once,
+        max_jobs=args.max_jobs,
+        timeout=args.timeout,
+        progress=print,
+        chaos_exit_after=args.chaos_exit_after,
+    )
+    print(
+        f"worker {report.worker_id}: {len(report.executed)} executed, "
+        f"{report.skipped} already stored, {report.claims} claims, "
+        f"{report.takeovers} takeovers, {report.passes} passes"
+    )
+    return 0
+
+
+def cmd_campaign_compact(args) -> int:
+    from .decoders.syncache import compact_cache_dir
+    from .experiments.store import ResultStore
+
+    store = ResultStore(args.store)
+    summary = store.compact()
+    print(
+        f"store {args.store}: {summary['records']} records in "
+        f"{summary['shards']} shards ({summary['removed_files']} stale "
+        f"files removed)"
+    )
+    print(f"content digest: {store.content_digest()}")
+    syn_dir = os.path.join(args.store, "syndromes")
+    if os.path.isdir(syn_dir):
+        syn = compact_cache_dir(syn_dir)
+        print(
+            f"syndrome cache: {syn['absorbed']} writer shards folded into "
+            f"{syn['files']} files ({syn['entries']} entries)"
+        )
+    return 0
+
+
 def cmd_campaign_status(args) -> int:
     from .experiments.store import ResultStore
 
@@ -221,6 +331,7 @@ def cmd_campaign_status(args) -> int:
         for (code, estimator), count in sorted(by_kind.items()):
             print(f"  {code:12s} {estimator:10s} {count}")
         _print_syndrome_cache_status(store.path)
+        _print_service_status(store)
         return 0
     spec = _load_campaign_spec(args)
     jobs = spec.expand()
@@ -230,6 +341,7 @@ def cmd_campaign_status(args) -> int:
         f"{len(jobs) - len(done)} pending"
     )
     _print_syndrome_cache_status(store.path)
+    _print_service_status(store)
     return 0
 
 
@@ -402,6 +514,88 @@ def build_parser() -> argparse.ArgumentParser:
     cexp.add_argument("--format", choices=("csv", "json"), default="csv")
     cexp.add_argument("--output", default=None, help="write to a file")
     cexp.set_defaults(fn=cmd_campaign_export)
+
+    cserve = csub.add_parser(
+        "serve",
+        help="publish a campaign's job queue (and optionally run an "
+        "in-process worker fleet)",
+    )
+    _campaign_common(cserve)
+    cserve.add_argument(
+        "--n-workers",
+        type=int,
+        default=0,
+        help="in-process worker threads (0: only publish the queue; "
+        "attach external workers with 'campaign worker')",
+    )
+    cserve.add_argument(
+        "--ttl", type=float, default=60.0, help="lease TTL in seconds"
+    )
+    cserve.add_argument(
+        "--poll", type=float, default=0.5, help="idle poll interval (s)"
+    )
+    cserve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="give up waiting for completion after this many seconds",
+    )
+    cserve.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return after publishing instead of waiting for completion",
+    )
+    cserve.add_argument(
+        "--verbose", action="store_true", help="per-job progress lines"
+    )
+    cserve.set_defaults(fn=cmd_campaign_serve)
+
+    cwork = csub.add_parser(
+        "worker",
+        help="attach a lease-based worker to a served store",
+    )
+    cwork.add_argument(
+        "--store", required=True, help="the served result-store directory"
+    )
+    cwork.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: pid-derived)",
+    )
+    cwork.add_argument("--ttl", type=float, default=60.0)
+    cwork.add_argument("--poll", type=float, default=0.5)
+    cwork.add_argument(
+        "--once",
+        action="store_true",
+        help="one pass over the queue, then exit",
+    )
+    cwork.add_argument(
+        "--max-jobs", type=int, default=None, help="exit after N jobs"
+    )
+    cwork.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="exit after this many seconds spent idle-waiting",
+    )
+    cwork.add_argument(
+        "--chaos-exit-after",
+        type=int,
+        default=None,
+        help="hard-exit (no lease release) after N jobs — the "
+        "crash-recovery drill used by the service smoke test",
+    )
+    cwork.set_defaults(fn=cmd_campaign_worker)
+
+    ccomp = csub.add_parser(
+        "compact",
+        help="canonicalize a store: sorted/deduplicated shards, volatile "
+        "meta dropped, syndrome-cache writer shards folded in",
+    )
+    ccomp.add_argument(
+        "--store", required=True, help="result-store directory to compact"
+    )
+    ccomp.set_defaults(fn=cmd_campaign_compact)
 
     opt = sub.add_parser("optimize", help="run PropHunt on a benchmark code")
     opt.add_argument("code")

@@ -134,7 +134,10 @@ def estimate_logical_error_rate(
     :func:`repro.noise.spec.resolve_noise`.
     """
     # Imported lazily: the experiments package imports this module.
-    from ..experiments.shotrunner import estimate_logical_error_rate_chunked
+    from ..experiments.shotrunner import (
+        ExecutionConfig,
+        estimate_logical_error_rate_chunked,
+    )
 
     return estimate_logical_error_rate_chunked(
         code,
@@ -146,8 +149,10 @@ def estimate_logical_error_rate(
         decoder=decoder,
         idle_strength=idle_strength,
         rng=rng,
-        max_failures=max_failures,
-        chunk_size=batch_size,
-        workers=workers,
         noise=noise,
+        config=ExecutionConfig(
+            workers=workers,
+            chunk_shots=batch_size,
+            max_failures=max_failures,
+        ),
     )

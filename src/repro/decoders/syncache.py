@@ -36,6 +36,7 @@ import binascii
 import hashlib
 import json
 import os
+import re
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -45,12 +46,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 FORMAT = "syndrome-cache-v1"
 
+_TAG_SAFE = re.compile(r"[^A-Za-z0-9_.-]")
 
-def _cache_filename(dem_key: str, namespace: str) -> str:
+
+def _cache_stem(dem_key: str, namespace: str) -> str:
     # Namespaces carry human-readable decoder params; hash them into a
     # fixed-width filesystem-safe token.
     ns = hashlib.sha256(namespace.encode("utf-8")).hexdigest()[:12]
-    return f"syn-{dem_key[:16]}-{ns}.cache"
+    return f"syn-{dem_key[:16]}-{ns}"
+
+
+def _cache_filename(
+    dem_key: str, namespace: str, writer_tag: str | None = None
+) -> str:
+    """File one (DEM, namespace) writer appends to.
+
+    Untagged writers share the base ``<stem>.cache`` (appends tolerate
+    interleaving, the PR-6 contract); a ``writer_tag`` — a service
+    worker id — claims the private shard ``<stem>.w<tag>.cache``, so a
+    whole fleet writing one cache directory never contends on a file
+    at all.  Readers merge the base file and every writer shard.
+    """
+    stem = _cache_stem(dem_key, namespace)
+    if writer_tag is None:
+        return f"{stem}.cache"
+    tag = _TAG_SAFE.sub("_", str(writer_tag))[:24]
+    return f"{stem}.w{tag}.cache"
 
 
 def summarize_cache_dir(directory: str | os.PathLike) -> dict[str, int]:
@@ -95,10 +116,12 @@ class SyndromeCache:
         namespace: str,
         key_bytes: int,
         value_bytes: int,
+        writer_tag: str | None = None,
     ):
         self.directory = os.fspath(directory) if directory is not None else None
         self.dem_key = dem_key
         self.namespace = namespace
+        self.writer_tag = writer_tag
         self.key_bytes = int(key_bytes)
         self.value_bytes = int(value_bytes)
         self._table: dict[bytes, bytes] = {}
@@ -118,11 +141,28 @@ class SyndromeCache:
 
     @property
     def path(self) -> str | None:
+        """The file *this* handle appends to (its writer shard, if tagged)."""
         if self.directory is None:
             return None
         return os.path.join(
-            self.directory, _cache_filename(self.dem_key, self.namespace)
+            self.directory,
+            _cache_filename(self.dem_key, self.namespace, self.writer_tag),
         )
+
+    def _sibling_paths(self) -> list[str]:
+        """Every file of this (DEM, namespace): base + all writer shards."""
+        assert self.directory is not None
+        stem = _cache_stem(self.dem_key, self.namespace)
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        return [
+            os.path.join(self.directory, name)
+            for name in names
+            if name == f"{stem}.cache"
+            or (name.startswith(f"{stem}.w") and name.endswith(".cache"))
+        ]
 
     def _header(self) -> str:
         return json.dumps(
@@ -150,15 +190,14 @@ class SyndromeCache:
             and head.get("value_bytes") == self.value_bytes
         )
 
-    def _load(self) -> None:
-        path = self.path
-        if path is None or not os.path.exists(path):
-            return
+    def _load_file(self, path: str, own: bool) -> None:
+        """Merge one cache file; ``own`` gates the read-only degrade."""
         try:
             with open(path, "rb") as fh:
                 lines = fh.read().split(b"\n")
         except OSError:
-            self._read_only = True
+            if own:
+                self._read_only = True
             return
         try:
             header = lines[0].decode("utf-8") if lines else ""
@@ -166,8 +205,11 @@ class SyndromeCache:
             header = ""
         if not self._header_matches(header.strip()):
             # Not a cache we understand (truncated header, other format,
-            # parameter drift): serve misses, never write here.
-            self._read_only = True
+            # parameter drift).  Our own file: serve misses, never write
+            # here.  Someone else's shard: just skip it — their
+            # corruption must not poison our warm start.
+            if own:
+                self._read_only = True
             return
         key_hex = 2 * self.key_bytes
         value_hex = 2 * self.value_bytes
@@ -184,7 +226,25 @@ class SyndromeCache:
             except (binascii.Error, ValueError):
                 continue
             table[key] = value
-        self.loaded = len(table)
+
+    def _load(self) -> None:
+        """Merge the base file and every writer shard of this cache.
+
+        Duplicate entries across files are harmless (decoding is
+        deterministic: any writer of a key wrote the same value), so
+        merge order does not matter.  Only *this handle's* append
+        target can flip the cache read-only — a foreign or corrupt
+        sibling degrades to fewer preloaded entries, never to silence.
+        """
+        own = self.path
+        if own is None:
+            return
+        if os.path.exists(own):
+            self._load_file(own, own=True)
+        for path in self._sibling_paths():
+            if path != own:
+                self._load_file(path, own=False)
+        self.loaded = len(self._table)
 
     def _append(self, entries: list[tuple[bytes, bytes]]) -> None:
         path = self.path
@@ -283,7 +343,10 @@ class SyndromeCache:
 
     @classmethod
     def for_decoder(
-        cls, decoder: "Decoder", directory: str | os.PathLike | None
+        cls,
+        decoder: "Decoder",
+        directory: str | os.PathLike | None,
+        writer_tag: str | None = None,
     ) -> "SyndromeCache":
         """The cache a decoder addresses: DEM fingerprint + its namespace."""
         return cls(
@@ -292,4 +355,87 @@ class SyndromeCache:
             namespace=decoder.cache_namespace,
             key_bytes=decoder.cache_key_words * 8,
             value_bytes=decoder.cache_value_bytes,
+            writer_tag=writer_tag,
         )
+
+
+def compact_cache_dir(directory: str | os.PathLike) -> dict[str, int]:
+    """Fold per-writer syndrome-cache shards back into their base files.
+
+    For every ``<stem>.w<tag>.cache`` shard whose header matches its
+    base, the entries are merged (sorted, deduplicated — any writer of
+    a key wrote the same value) and the base ``<stem>.cache`` is
+    rewritten atomically; the absorbed shards are then removed.  Files
+    with unreadable or mismatched headers are left untouched.  Safe to
+    run any time: worst case a racing writer's latest appends land in a
+    fresh shard file that the next compaction absorbs.
+    """
+    directory = os.fspath(directory)
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return {"files": 0, "absorbed": 0, "entries": 0}
+    shards: dict[str, list[str]] = {}
+    for name in names:
+        if not (name.startswith("syn-") and name.endswith(".cache")):
+            continue
+        stem = name[: -len(".cache")]
+        base = stem.split(".w", 1)[0]
+        shards.setdefault(base, []).append(os.path.join(directory, name))
+    absorbed = 0
+    entries = 0
+    compacted_files = 0
+    for base, paths in shards.items():
+        writer_shards = [p for p in paths if ".w" in os.path.basename(p)]
+        if not writer_shards:
+            continue
+        headers: list[str] = []
+        table: dict[bytes, bytes] = {}
+        ok = True
+        widths: tuple[int, int] | None = None
+        for path in paths:
+            try:
+                with open(path, "rb") as fh:
+                    lines = fh.read().split(b"\n")
+                head = json.loads(lines[0].decode("utf-8"))
+                kb, vb = int(head["key_bytes"]), int(head["value_bytes"])
+            except (OSError, ValueError, KeyError, TypeError, UnicodeDecodeError):
+                ok = False
+                break
+            if head.get("format") != FORMAT or (
+                widths is not None and widths != (kb, vb)
+            ):
+                ok = False
+                break
+            widths = (kb, vb)
+            headers.append(json.dumps(head, sort_keys=True))
+            key_hex, value_hex = 2 * kb, 2 * vb
+            for line in lines[1:]:
+                if len(line) != key_hex + 1 + value_hex or line[key_hex] != 0x20:
+                    continue
+                try:
+                    table[binascii.unhexlify(line[:key_hex])] = (
+                        binascii.unhexlify(line[key_hex + 1 :])
+                    )
+                except (binascii.Error, ValueError):
+                    continue
+        if not ok or len(set(headers)) != 1:
+            continue
+        base_path = os.path.join(directory, base + ".cache")
+        tmp = base_path + ".compact.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write((headers[0] + "\n").encode("utf-8"))
+            for key in sorted(table):
+                fh.write(f"{key.hex()} {table[key].hex()}\n".encode("ascii"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, base_path)
+        for path in writer_shards:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        absorbed += len(writer_shards)
+        entries += len(table)
+        compacted_files += 1
+    return {"files": compacted_files, "absorbed": absorbed, "entries": entries}

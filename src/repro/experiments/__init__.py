@@ -11,6 +11,7 @@ from . import (
     fig14_scaling,
     fig15_idle,
     fig16_zne,
+    service,
     shotrunner,
     store,
     table1_codes,
@@ -18,8 +19,10 @@ from . import (
 )
 from .campaign import CampaignJob, CampaignSpec, run_campaign
 from .common import ExperimentResult
+from .service import serve_campaign, worker_loop
 from .store import ResultStore
 from .shotrunner import (
+    ExecutionConfig,
     estimate_logical_error_rate_chunked,
     run_shot_chunks,
     run_stratified_chunks,
@@ -28,6 +31,7 @@ from .shotrunner import (
 __all__ = [
     "CampaignJob",
     "CampaignSpec",
+    "ExecutionConfig",
     "ExperimentResult",
     "ResultStore",
     "campaign",
@@ -35,7 +39,10 @@ __all__ = [
     "run_campaign",
     "run_shot_chunks",
     "run_stratified_chunks",
+    "serve_campaign",
+    "service",
     "store",
+    "worker_loop",
     "fig01_predictors",
     "fig06_schedules",
     "fig12_benchmarks",

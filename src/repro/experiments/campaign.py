@@ -60,7 +60,7 @@ from ..noise.spec import NoiseSpec, noise_display, resolve_noise
 from ..sim.dem import DetectorErrorModel
 from ..sim.sampler import DemSampler
 from .store import ResultStore, canonical_json, job_key
-from .shotrunner import run_shot_chunks
+from .shotrunner import ExecutionConfig, resolve_execution, run_shot_chunks
 
 JOB_FORMAT = "campaign-job-v1"
 
@@ -428,18 +428,24 @@ class CompileCache:
         return self._samplers[key]
 
     def syndrome_cache(
-        self, job: CampaignJob, directory: str | None
+        self,
+        job: CampaignJob,
+        directory: str | None,
+        writer_tag: str | None = None,
     ) -> SyndromeCache:
         """The persistent syndrome cache a job's decoder addresses.
 
         Memoized alongside the decoder, so every job in the grid hitting
         the same (DEM, decoder) shares one open cache — loaded once per
         campaign, and its hit/miss stats aggregate across jobs.
+        ``writer_tag`` routes this process's appends to a private shard
+        file (service workers pass their worker id) so a fleet sharing
+        one cache directory never interleaves writes.
         """
-        key = self._dem_key(job) + (job.decoder, directory)
+        key = self._dem_key(job) + (job.decoder, directory, writer_tag)
         if key not in self._syncaches:
             self._syncaches[key] = SyndromeCache.for_decoder(
-                self.decoder(job), directory
+                self.decoder(job), directory, writer_tag=writer_tag
             )
         return self._syncaches[key]
 
@@ -459,32 +465,52 @@ class CompileCache:
 def execute_job(
     job: CampaignJob,
     cache: CompileCache | None = None,
-    workers: int = 1,
-    syndrome_cache_dir: str | None = None,
+    config: ExecutionConfig | None = None,
+    **legacy,
 ) -> dict[str, Any]:
-    """Run one job and return its JSON-safe result payload.
+    """Run one job and return its JSON-safe, *deterministic* result payload.
 
     The payload always records both the planned budget and the shots
     actually consumed — under ``max_failures`` early stopping the two
-    differ, and stored CI widths must reflect real consumption.
+    differ, and stored CI widths must reflect real consumption.  It is
+    a pure function of the job (every job seeds from its own key and
+    the runner is worker-count independent): wall-clock timing and
+    other per-run provenance ride the record's ``meta`` envelope
+    (:func:`run_campaign`, the service workers), never the result.
 
-    ``syndrome_cache_dir`` enables the persistent syndrome→correction
-    cache (:mod:`repro.decoders.syncache`): the job's decoder consults
-    it before decoding anything, so syndromes solved by earlier jobs or
-    runs are free.  Cache state never changes results — only which code
-    path produces them — so it is deliberately *not* part of the job
-    key, and resumed campaigns stay byte-identical.
+    Execution knobs ride ``config`` (an
+    :class:`~repro.experiments.shotrunner.ExecutionConfig`; the old
+    ``workers``/``syndrome_cache_dir`` keywords still work with a
+    one-time deprecation warning).  The job's own hashed ``chunk_size``
+    and ``max_failures`` override whatever the config carries — those
+    two affect results, so the content address owns them.
+
+    ``config.syndrome_cache_dir`` enables the persistent
+    syndrome→correction cache (:mod:`repro.decoders.syncache`): the
+    job's decoder consults it before decoding anything, so syndromes
+    solved by earlier jobs or runs are free.  Cache state never changes
+    results — only which code path produces them — so it is
+    deliberately *not* part of the job key, and resumed campaigns stay
+    byte-identical.
     """
+    cfg = resolve_execution("execute_job", config, legacy)
     cache = cache or CompileCache()
+    cfg = cfg.replace(
+        chunk_shots=job.chunk_size,
+        max_failures=job.max_failures,
+        sampler=cache.sampler(job) if cfg.workers <= 1 else None,
+        dec=cache.decoder(job) if cfg.workers <= 1 else None,
+    )
     dem = cache.dem(job)
     rng = np.random.default_rng(job.seed_sequence())
-    if syndrome_cache_dir is not None and workers <= 1:
+    if cfg.syndrome_cache_dir is not None and cfg.workers <= 1:
         # Attach the campaign-shared cache to the memoized decoder (pool
         # workers attach their own through the runner's initializer).
         cache.decoder(job).attach_syndrome_cache(
-            cache.syndrome_cache(job, syndrome_cache_dir)
+            cache.syndrome_cache(
+                job, cfg.syndrome_cache_dir, writer_tag=cfg.syndrome_writer_tag
+            )
         )
-    t0 = time.monotonic()
     if job.estimator == "direct":
         est = run_shot_chunks(
             dem,
@@ -492,12 +518,7 @@ def execute_job(
             basis=job.basis,
             decoder=job.decoder,
             rng=rng,
-            chunk_size=job.chunk_size,
-            workers=workers,
-            max_failures=job.max_failures,
-            sampler=cache.sampler(job) if workers <= 1 else None,
-            dec=cache.decoder(job) if workers <= 1 else None,
-            syndrome_cache_dir=syndrome_cache_dir,
+            config=cfg,
         )
         est = est.with_confidence(job.confidence)
         return {
@@ -506,7 +527,6 @@ def execute_job(
             "planned_shots": int(job.shots),
             "consumed_shots": int(est.shots),
             "early_stopped": est.shots < job.shots,
-            "elapsed_s": time.monotonic() - t0,
         }
     from ..rareevent import estimate_ler_stratified
 
@@ -523,9 +543,9 @@ def execute_job(
         max_shots=job.shots,
         max_rounds=job.max_rounds,
         chunk_size=job.chunk_size,
-        workers=workers,
+        workers=cfg.workers,
         mode=job.mode,
-        dec=cache.decoder(job) if workers <= 1 else None,
+        dec=cache.decoder(job) if cfg.workers <= 1 else None,
     )
     return {
         "estimator": "rare-event",
@@ -534,7 +554,6 @@ def execute_job(
         "planned_shots": int(job.shots),
         "consumed_shots": int(strat.shots),
         "early_stopped": False,
-        "elapsed_s": time.monotonic() - t0,
     }
 
 
@@ -579,11 +598,13 @@ def as_store(store: ResultStore | str | None) -> ResultStore:
 def run_campaign(
     spec: CampaignSpec | Sequence[CampaignJob],
     store: ResultStore | str | None = None,
-    workers: int = 1,
+    workers: int | None = None,
     cache: CompileCache | None = None,
     progress: Callable[[str], None] | None = None,
     labels: dict[str, str] | None = None,
     syndrome_cache_dir: str | None = "auto",
+    config: ExecutionConfig | None = None,
+    meta: dict[str, Any] | None = None,
 ) -> CampaignReport:
     """Run every job of a spec that the store does not already hold.
 
@@ -603,16 +624,26 @@ def run_campaign(
     disable explicitly.  The cache only accelerates decoding — it is
     deliberately not part of any job key, so resumed campaigns stay
     byte-identical whether the cache is warm, cold, or deleted.
+
+    ``config`` carries the remaining execution knobs (an explicit
+    ``workers``/``syndrome_cache_dir`` argument wins over the config
+    field for backward compatibility).  ``meta`` seeds the per-run
+    provenance envelope stored with every executed record (the service
+    workers stamp their worker id); timing is always added.
     """
     jobs = spec.expand() if isinstance(spec, CampaignSpec) else list(spec)
     store = as_store(store)
     cache = cache or CompileCache()
+    cfg = config or ExecutionConfig()
+    if workers is not None:
+        cfg = cfg.replace(workers=workers)
     if syndrome_cache_dir == "auto":
-        syndrome_cache_dir = (
+        syndrome_cache_dir = cfg.syndrome_cache_dir or (
             os.path.join(store.path, "syndromes")
             if store.path is not None
             else None
         )
+    cfg = cfg.replace(syndrome_cache_dir=syndrome_cache_dir)
     report = CampaignReport(store=store, jobs=jobs)
     seen: set[str] = set()
     for i, job in enumerate(jobs):
@@ -632,18 +663,18 @@ def run_campaign(
             continue
         if progress is not None:
             progress(f"[{i + 1}/{len(jobs)}] run  {_describe(job, labels)}")
-        result = execute_job(
-            job,
-            cache=cache,
-            workers=workers,
-            syndrome_cache_dir=syndrome_cache_dir,
-        )
+        t0 = time.monotonic()
+        result = execute_job(job, cache=cache, config=cfg)
         store.put(
-            key, job.to_payload(), result, label=(labels or {}).get(key)
+            key,
+            job.to_payload(),
+            result,
+            label=(labels or {}).get(key),
+            meta={**(meta or {}), "elapsed_s": time.monotonic() - t0},
         )
         report.executed.append(key)
         report.records[key] = store.get(key)
-    if syndrome_cache_dir is not None:
+    if cfg.syndrome_cache_dir is not None:
         report.syndrome_stats = cache.syndrome_cache_stats()
     return report
 

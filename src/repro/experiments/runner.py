@@ -188,6 +188,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.store is not None:
+        # One store handle for the whole invocation.  Passing the raw
+        # path had every figure re-open and re-parse the JSONL store
+        # (`as_store(path)` builds a fresh ResultStore per call); the
+        # shared handle is passed through untouched and tails
+        # incrementally instead.
+        from .store import ResultStore
+
+        args.store = ResultStore(args.store)
+
     name = ALIASES.get(args.experiment, args.experiment)
     targets = sorted(EXPERIMENTS) if name == "all" else [name]
     for target in targets:

@@ -17,10 +17,12 @@ early stopping — is a pure function of the seed root: ``workers=1`` and
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable
@@ -48,6 +50,94 @@ class ChunkResult:
     index: int
     shots: int
     failures: int
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a shot loop executes — everything that is *not* the physics.
+
+    One bundle for the keyword sprawl that used to ride every runner
+    signature (``workers``, ``chunk_size``, ``max_failures``,
+    ``streaming``, ``dense_reference``, sampler/decoder injection, the
+    syndrome cache), threaded uniformly through
+    :func:`run_shot_chunks`,
+    :func:`estimate_logical_error_rate_chunked`, and
+    :func:`repro.experiments.campaign.execute_job`.  The old keywords
+    keep working through a deprecation shim that warns once per entry
+    point.
+
+    Only ``chunk_shots`` and ``max_failures`` affect results (chunking
+    feeds RNG substreams; the failure cap truncates consumption) —
+    which is why campaign jobs hash their own copies of those two and
+    override whatever a config says.  Everything else changes how fast
+    or where, never what.
+    """
+
+    workers: int = 1
+    chunk_shots: int = 5_000
+    max_failures: int | None = None
+    streaming: bool = True
+    dense_reference: bool = False
+    sampler: DemSampler | None = None
+    dec: Decoder | None = None
+    syndrome_cache_dir: str | None = None
+    # Service workers write their syndrome-cache entries to a private
+    # per-writer shard file (see repro.decoders.syncache) so a fleet
+    # never interleaves appends in one cache file.
+    syndrome_writer_tag: str | None = None
+
+    def replace(self, **changes) -> "ExecutionConfig":
+        return dataclasses.replace(self, **changes)
+
+
+# Old keyword -> ExecutionConfig field, for the deprecation shim.
+_LEGACY_KEYWORDS = {
+    "workers": "workers",
+    "chunk_size": "chunk_shots",
+    "chunk_shots": "chunk_shots",
+    "max_failures": "max_failures",
+    "streaming": "streaming",
+    "dense_reference": "dense_reference",
+    "sampler": "sampler",
+    "dec": "dec",
+    "syndrome_cache_dir": "syndrome_cache_dir",
+    "syndrome_writer_tag": "syndrome_writer_tag",
+}
+
+_legacy_warned: set[str] = set()
+
+
+def resolve_execution(
+    entry_point: str,
+    config: ExecutionConfig | None,
+    legacy: dict[str, object],
+) -> ExecutionConfig:
+    """Merge legacy keyword arguments into an :class:`ExecutionConfig`.
+
+    Unknown keywords raise ``TypeError`` (they are typos, not legacy);
+    known ones override the config field they map to and emit one
+    ``DeprecationWarning`` per entry point per process.
+    """
+    config = config or ExecutionConfig()
+    if not legacy:
+        return config
+    unknown = set(legacy) - set(_LEGACY_KEYWORDS)
+    if unknown:
+        raise TypeError(
+            f"{entry_point}() got unexpected keyword arguments {sorted(unknown)}"
+        )
+    if entry_point not in _legacy_warned:
+        _legacy_warned.add(entry_point)
+        warnings.warn(
+            f"passing {sorted(legacy)} to {entry_point}() as keywords is "
+            "deprecated; bundle them in an ExecutionConfig "
+            "(repro.api.ExecutionConfig) and pass config=...",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return config.replace(
+        **{_LEGACY_KEYWORDS[k]: v for k, v in legacy.items()}
+    )
 
 
 def plan_chunks(shots: int, chunk_size: int) -> list[int]:
@@ -177,37 +267,38 @@ def run_shot_chunks(
     basis: str = "z",
     decoder: str = "auto",
     rng: np.random.Generator | None = None,
-    chunk_size: int = 5_000,
-    workers: int = 1,
-    max_failures: int | None = None,
+    config: ExecutionConfig | None = None,
     on_chunk: Callable[[ChunkResult], None] | None = None,
-    dense_reference: bool = False,
-    sampler: DemSampler | None = None,
-    dec: Decoder | None = None,
-    streaming: bool = True,
-    syndrome_cache_dir: str | None = None,
+    **legacy,
 ) -> RateEstimate:
     """Sample/decode ``shots`` shots of one DEM in chunks.
 
+    Execution knobs — worker fan-out, chunk size, early-stop cap,
+    streaming overlap, sampler/decoder injection, the persistent
+    syndrome cache — ride one :class:`ExecutionConfig` (the old
+    keywords still work, deprecation-warned once per process).
+
     ``on_chunk`` streams per-chunk results (in chunk order) to the
-    caller as they are accumulated.  ``max_failures`` stops after the
-    first chunk that pushes the failure count past the cap, applied in
-    chunk order, so early stopping is worker-count independent; the
-    returned estimate reports the shots actually consumed (the chunks
-    accounted before the stop), never the planned budget, so its Wilson
-    interval stays honest.
+    caller as they are accumulated.  ``config.max_failures`` stops
+    after the first chunk that pushes the failure count past the cap,
+    applied in chunk order, so early stopping is worker-count
+    independent; the returned estimate reports the shots actually
+    consumed (the chunks accounted before the stop), never the planned
+    budget, so its Wilson interval stays honest.
 
-    ``sampler``/``dec`` let a caller with a compile cache (the campaign
-    engine) reuse a pre-built sampler and decoder on the inline path;
-    with ``workers > 1`` each pool worker builds its own instead.
+    ``config.sampler``/``config.dec`` let a caller with a compile cache
+    (the campaign engine) reuse a pre-built sampler and decoder on the
+    inline path; with ``workers > 1`` each pool worker builds its own
+    instead.
 
-    On the inline path, ``streaming=True`` overlaps sampling of chunk
-    ``k+1`` (on a single prefetch thread) with decoding of chunk ``k``.
-    Each chunk's sampling is a pure function of its own spawned seed, so
-    the overlap is bit-identical to the sequential loop; a
-    ``max_failures`` stop wastes at most one presampled chunk.
+    On the inline path, ``config.streaming`` (default) overlaps
+    sampling of chunk ``k+1`` (on a single prefetch thread) with
+    decoding of chunk ``k``.  Each chunk's sampling is a pure function
+    of its own spawned seed, so the overlap is bit-identical to the
+    sequential loop; a ``max_failures`` stop wastes at most one
+    presampled chunk.
 
-    ``syndrome_cache_dir`` attaches a persistent
+    ``config.syndrome_cache_dir`` attaches a persistent
     :class:`~repro.decoders.syncache.SyndromeCache` (content-addressed
     by DEM fingerprint + decoder namespace) to the decoder — inline and
     in every pool worker — so distinct syndromes decoded by any earlier
@@ -217,13 +308,19 @@ def run_shot_chunks(
     The hot path is fully packed: chunks are sampled packed and decoded
     through :meth:`~repro.decoders.base.Decoder.decode_batch_packed`
     (unique-syndrome batching), so no dense ``(shots, num_detectors)``
-    array is ever materialized.  ``dense_reference=True`` routes
+    array is ever materialized.  ``config.dense_reference`` routes
     decoding through the pinned dense path instead
     (:meth:`~repro.decoders.base.Decoder.count_failures_dense`) — same
     estimates by construction, kept for cross-checks and benchmarks.
     """
+    cfg = resolve_execution("run_shot_chunks", config, legacy)
+    workers = cfg.workers
+    max_failures = cfg.max_failures
+    dense_reference = cfg.dense_reference
+    sampler, dec = cfg.sampler, cfg.dec
+    syndrome_cache_dir = cfg.syndrome_cache_dir
     rng = rng or np.random.default_rng()
-    sizes = plan_chunks(shots, chunk_size)
+    sizes = plan_chunks(shots, cfg.chunk_shots)
     seeds = spawn_chunk_seeds(rng, len(sizes))
     jobs = [(i, size, seed) for i, (size, seed) in enumerate(zip(sizes, seeds))]
     if not jobs:
@@ -250,9 +347,11 @@ def run_shot_chunks(
             and getattr(dec, "syndrome_cache", None) is None
         ):
             dec.attach_syndrome_cache(
-                SyndromeCache.for_decoder(dec, syndrome_cache_dir)
+                SyndromeCache.for_decoder(
+                    dec, syndrome_cache_dir, writer_tag=cfg.syndrome_writer_tag
+                )
             )
-        if streaming and len(jobs) > 1:
+        if cfg.streaming and len(jobs) > 1:
             # DemSampler is read-only after construction and each chunk
             # samples from its own generator, so one prefetch thread can
             # sample chunk k+1 while the main thread decodes chunk k.
@@ -520,23 +619,31 @@ def estimate_logical_error_rate_chunked(
     decoder: str = "auto",
     idle_strength: float = 0.0,
     rng: np.random.Generator | None = None,
-    max_failures: int | None = None,
-    chunk_size: int = 5_000,
-    workers: int = 1,
     noise=None,
+    config: ExecutionConfig | None = None,
+    **legacy,
 ) -> LogicalErrorRate:
     """Chunk-runner-backed Monte-Carlo logical error rate.
 
     The engine behind
     :func:`repro.decoders.metrics.estimate_logical_error_rate`; call
-    this directly to pass runner-specific knobs (``workers``,
-    ``chunk_size``, ``on_chunk``-style streaming via
-    :func:`run_shot_chunks`).  ``noise`` is a
+    this directly to pass an :class:`ExecutionConfig` (worker fan-out,
+    chunk size, early-stop cap, ... — the old ``workers``/
+    ``chunk_size``/``max_failures`` keywords still work with a one-time
+    deprecation warning).  ``noise`` is a
     :class:`~repro.noise.spec.NoiseSpec`, a noise token, an inline
     payload, or ``None`` (uniform depolarizing at ``p`` plus
     ``idle_strength``) — resolved through
     :func:`repro.noise.spec.resolve_noise`.
     """
+    cfg = resolve_execution(
+        "estimate_logical_error_rate_chunked", config, legacy
+    )
+    # A sampler/decoder instance is bound to one (DEM, basis); this
+    # entry point builds a fresh DEM per basis, so injection cannot
+    # carry across — strip it rather than decode the x basis with a
+    # z-basis decoder.
+    cfg = cfg.replace(sampler=None, dec=None)
     rng = rng or np.random.default_rng()
     noise = resolve_noise(noise, p, idle_strength)
     per_basis: dict[str, MemoryResult] = {}
@@ -548,9 +655,7 @@ def estimate_logical_error_rate_chunked(
             basis=basis,
             decoder=decoder,
             rng=rng,
-            chunk_size=chunk_size,
-            workers=workers,
-            max_failures=max_failures,
+            config=cfg,
         )
         per_basis[basis] = MemoryResult(basis=basis, estimate=estimate, dem=dem)
     return LogicalErrorRate(code_name=code.name, p=p, per_basis=per_basis)

@@ -1,0 +1,202 @@
+"""Pins the ``repro.api`` compatibility contract.
+
+The facade exists so internals can churn without breaking user code;
+that only holds if its surface is *tested*.  These tests pin the
+``__all__`` list, the call signatures of every facade function, and the
+legacy-keyword shim of :class:`ExecutionConfig` — renaming a parameter
+or dropping a name fails here before it fails downstream.
+"""
+
+import inspect
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.experiments import shotrunner
+from repro.experiments.shotrunner import ExecutionConfig, resolve_execution
+
+
+def params(fn):
+    return list(inspect.signature(fn).parameters)
+
+
+class TestSurface:
+    def test_all_is_pinned(self):
+        assert sorted(api.__all__) == [
+            "CampaignJob",
+            "CampaignSpec",
+            "ExecutionConfig",
+            "ResultStore",
+            "Session",
+            "evaluate",
+            "serve",
+            "smoke_spec",
+            "sweep",
+            "worker",
+        ]
+
+    def test_every_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_evaluate_signature(self):
+        assert params(api.evaluate) == [
+            "code",
+            "schedule",
+            "p",
+            "shots",
+            "basis",
+            "decoder",
+            "idle_strength",
+            "noise",
+            "rounds",
+            "config",
+        ]
+
+    def test_sweep_signature(self):
+        assert params(api.sweep) == [
+            "spec",
+            "store",
+            "config",
+            "labels",
+            "progress",
+        ]
+
+    def test_serve_signature(self):
+        assert params(api.serve) == [
+            "spec",
+            "store",
+            "n_workers",
+            "ttl",
+            "poll",
+            "wait",
+            "timeout",
+            "labels",
+            "config",
+            "progress",
+        ]
+
+    def test_worker_signature(self):
+        assert params(api.worker) == [
+            "store",
+            "worker_id",
+            "ttl",
+            "poll",
+            "once",
+            "max_jobs",
+            "timeout",
+            "config",
+            "progress",
+        ]
+
+    def test_session_surface(self):
+        assert params(api.Session.__init__) == ["self", "store", "config", "cache"]
+        for method in ("reload", "evaluate", "sweep", "serve", "query", "compact"):
+            assert callable(getattr(api.Session, method))
+
+    def test_execution_config_fields(self):
+        assert [f for f in ExecutionConfig.__dataclass_fields__] == [
+            "workers",
+            "chunk_shots",
+            "max_failures",
+            "streaming",
+            "dense_reference",
+            "sampler",
+            "dec",
+            "syndrome_cache_dir",
+            "syndrome_writer_tag",
+        ]
+        cfg = ExecutionConfig()
+        assert cfg.workers == 1 and cfg.chunk_shots == 5_000
+        assert cfg.replace(workers=3).workers == 3
+        assert cfg.workers == 1  # frozen: replace returns a copy
+
+
+class TestSessionBehavior:
+    def test_session_shares_one_store_handle(self, tmp_path):
+        sess = api.Session(store=tmp_path / "s")
+        handle = sess.store
+        sess.sweep(api.smoke_spec())
+        assert sess.store is handle  # never reopened
+        assert len(sess.query(estimator="direct")) == 2
+        # A second session (fresh parse) sees the same records.
+        assert len(api.Session(store=tmp_path / "s").query()) == 4
+
+    def test_session_accepts_open_store(self, tmp_path):
+        from repro.experiments.store import ResultStore
+
+        store = ResultStore(tmp_path / "s")
+        assert api.Session(store=store).store is store
+
+    def test_in_memory_session_cannot_serve(self):
+        with pytest.raises(ValueError):
+            api.Session().serve(api.smoke_spec(), n_workers=1)
+
+    def test_evaluate_single_basis(self):
+        ler = api.evaluate("surface_d3", "nz", p=3e-3, shots=256, basis="z")
+        assert list(ler.per_basis) == ["z"]
+
+
+class TestLegacyKeywordShim:
+    def setup_method(self):
+        shotrunner._legacy_warned.clear()
+
+    def test_legacy_keywords_warn_once_per_entry_point(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolve_execution("ep_a", None, {"workers": 2})
+            resolve_execution("ep_a", None, {"workers": 3})
+            resolve_execution("ep_b", None, {"workers": 2})
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2  # once per entry point, not per call
+
+    def test_legacy_keywords_map_onto_config(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            cfg = resolve_execution(
+                "ep_map",
+                None,
+                {"workers": 4, "chunk_size": 100, "max_failures": 7},
+            )
+        assert (cfg.workers, cfg.chunk_shots, cfg.max_failures) == (4, 100, 7)
+
+    def test_unknown_keyword_is_a_type_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            resolve_execution("ep_bad", None, {"wrokers": 2})
+
+    def test_config_and_legacy_keywords_are_equivalent(self, tmp_path):
+        dem = _smoke_dem()
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        new = shotrunner.run_shot_chunks(
+            dem,
+            shots=256,
+            rng=rng_a,
+            config=ExecutionConfig(chunk_shots=64, max_failures=None),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            old = shotrunner.run_shot_chunks(
+                dem, shots=256, rng=rng_b, chunk_size=64
+            )
+        assert new.to_dict() == old.to_dict()
+
+    def test_explicit_config_wins_over_defaults(self):
+        cfg = resolve_execution(
+            "ep_cfg", ExecutionConfig(workers=5), {}
+        )
+        assert cfg.workers == 5
+
+
+def _smoke_dem():
+    from repro.codes import rotated_surface_code
+    from repro.circuits import nz_schedule
+    from repro.decoders.metrics import dem_for
+    from repro.noise.model import NoiseModel
+
+    code = rotated_surface_code(3)
+    return dem_for(code, nz_schedule(code), NoiseModel(p=3e-3), basis="z")

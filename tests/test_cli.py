@@ -156,7 +156,7 @@ class TestCampaignCli:
             rows = []
             for line in results.read_text().splitlines():
                 record = json.loads(line)
-                record["result"].pop("elapsed_s", None)  # wall clock only
+                record.pop("meta", None)  # wall clock / worker provenance
                 rows.append(json.dumps(record, sort_keys=True))
             return rows
 
