@@ -8,9 +8,14 @@ Runs the built-in smoke campaign twice:
   (leaving its lease dangling), then two racing workers that finish the
   queue, taking the dead worker's group over once the lease expires.
 
-Both stores are then compacted and every shard file byte-compared.
-Any divergence — ordering, provenance leaking into results, a job
-skipped or doubled with different bytes — fails the gate.
+The fleet's workers run with ``REPRO_OBS=on`` — full span tracing,
+metrics, and heartbeats — while the single-process reference stays
+uninstrumented.  Both stores are then compacted and every shard file
+byte-compared.  Any divergence — ordering, provenance leaking into
+results, *telemetry* leaking into results, a job skipped or doubled
+with different bytes — fails the gate.  The fleet's trace sidecars are
+finally merged into one Chrome ``trace_event`` JSON (uploaded as a CI
+artifact) and must contain span events.
 
 Usage: PYTHONPATH=src python scripts/service_smoke.py [workdir]
 """
@@ -27,6 +32,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.experiments.campaign import run_campaign, smoke_spec  # noqa: E402
 from repro.experiments.service import write_queue  # noqa: E402
 from repro.experiments.store import ResultStore  # noqa: E402
+from repro.obs.dashboard import render_telemetry, telemetry_dir_of  # noqa: E402
+from repro.obs.trace import write_chrome_trace  # noqa: E402
 
 
 def spawn_worker(store: str, *extra: str) -> subprocess.Popen:
@@ -35,6 +42,9 @@ def spawn_worker(store: str, *extra: str) -> subprocess.Popen:
         [os.path.join(os.path.dirname(__file__), "..", "src")]
         + env.get("PYTHONPATH", "").split(os.pathsep)
     )
+    # Workers run fully instrumented; the byte-compare below is the
+    # "telemetry never touches results" contract under real processes.
+    env["REPRO_OBS"] = "on"
     return subprocess.Popen(
         [
             sys.executable,
@@ -103,6 +113,16 @@ def main(workdir: str) -> int:
         return 1
     print(f"OK: {len(a)} records, {len(sa)} shards, byte-identical stores")
     print(f"content digest: {a.content_digest()}")
+
+    print("== fleet telemetry (workers ran REPRO_OBS=on) ==")
+    for line in render_telemetry(fleet):
+        print(line)
+    trace_out = os.path.join(workdir, "fleet-trace.json")
+    events = write_chrome_trace(telemetry_dir_of(fleet), trace_out)
+    if events == 0:
+        print("FAIL: instrumented fleet left no span records")
+        return 1
+    print(f"chrome trace: {events} span events -> {trace_out}")
     return 0
 
 

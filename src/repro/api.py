@@ -242,3 +242,19 @@ class Session:
     def compact(self) -> dict[str, int]:
         """Canonicalize the store on disk (sorted, deduplicated, sharded)."""
         return self.store.compact()
+
+    def telemetry(self) -> dict[str, Any]:
+        """Fleet telemetry summary from this store's sidecar files.
+
+        Aggregates the ``<store>/telemetry/`` span traces and worker
+        heartbeats (written when workers run with ``REPRO_OBS=on``)
+        into per-stage time shares, merged metric counters/histograms,
+        and per-worker liveness — the programmatic face of ``campaign
+        status --telemetry``.  Requires an on-disk store; telemetry is
+        sidecar-only and never part of the result records themselves.
+        """
+        if self.store.path is None:
+            raise ValueError("telemetry requires an on-disk store")
+        from .obs.dashboard import telemetry_summary
+
+        return telemetry_summary(self.store.path)

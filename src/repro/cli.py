@@ -231,14 +231,70 @@ def _print_service_status(store) -> None:
         names = []
     if names:
         now = time.time()
-        live = expired = 0
+        live = stale = 0
         for name in names:
             lease = service.read_lease(os.path.join(ldir, name)) or {}
+            group = name[: -len(".lease")]
+            claimed = lease.get("claimed_at")
+            expires = lease.get("expires_at")
+            age = (
+                f"{now - claimed:.0f}s old"
+                if isinstance(claimed, (int, float))
+                else "age unknown"
+            )
             if service.lease_expired(lease, now):
-                expired += 1
+                # Expired but still on disk: its worker died (or lost the
+                # race) and nobody has taken the group over yet.
+                stale += 1
+                over = (
+                    f"{now - expires:.0f}s ago"
+                    if isinstance(expires, (int, float))
+                    else "unknown"
+                )
+                print(
+                    f"  lease {group}: STALE (worker "
+                    f"{lease.get('worker', '?')}, {age}, expired {over})"
+                )
             else:
                 live += 1
-        print(f"leases: {live} live, {expired} expired")
+                left = expires - now
+                print(
+                    f"  lease {group}: live (worker "
+                    f"{lease.get('worker', '?')}, {age}, "
+                    f"expires in {left:.0f}s)"
+                )
+        print(f"leases: {live} live, {stale} stale")
+
+
+def cmd_campaign_top(args) -> int:
+    import time
+
+    from .obs.dashboard import render_telemetry, render_top
+
+    while True:
+        stale_after = max(10.0, 3.0 * args.poll)
+        for line in render_top(args.store, stale_after=stale_after):
+            print(line)
+        if args.stages:
+            print()
+            for line in render_telemetry(args.store):
+                print(line)
+        if not args.watch:
+            return 0
+        try:
+            time.sleep(args.poll)
+        except KeyboardInterrupt:
+            return 0
+        print()
+
+
+def cmd_campaign_trace(args) -> int:
+    from .obs.dashboard import telemetry_dir_of
+    from .obs.trace import write_chrome_trace
+
+    events = write_chrome_trace(telemetry_dir_of(args.store), args.output)
+    print(f"{events} span events -> {args.output} (chrome://tracing)")
+    return 0 if events or args.allow_empty else 1
 
 
 def cmd_campaign_serve(args) -> int:
@@ -317,6 +373,14 @@ def cmd_campaign_compact(args) -> int:
     return 0
 
 
+def _print_telemetry_status(store_path) -> None:
+    from .obs.dashboard import render_telemetry
+
+    print()
+    for line in render_telemetry(store_path):
+        print(line)
+
+
 def cmd_campaign_status(args) -> int:
     from .experiments.store import ResultStore
 
@@ -332,6 +396,8 @@ def cmd_campaign_status(args) -> int:
             print(f"  {code:12s} {estimator:10s} {count}")
         _print_syndrome_cache_status(store.path)
         _print_service_status(store)
+        if args.telemetry:
+            _print_telemetry_status(args.store)
         return 0
     spec = _load_campaign_spec(args)
     jobs = spec.expand()
@@ -342,6 +408,8 @@ def cmd_campaign_status(args) -> int:
     )
     _print_syndrome_cache_status(store.path)
     _print_service_status(store)
+    if args.telemetry:
+        _print_telemetry_status(args.store)
     return 0
 
 
@@ -505,7 +573,52 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="completed/pending counts for a campaign or store"
     )
     _campaign_common(cstat)
+    cstat.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="per-stage time shares, cache hit rates, and worker "
+        "heartbeats from the <store>/telemetry/ sidecars",
+    )
     cstat.set_defaults(fn=cmd_campaign_status)
+
+    ctop = csub.add_parser(
+        "top",
+        help="live fleet dashboard from worker heartbeat sidecars",
+    )
+    ctop.add_argument(
+        "--store", required=True, help="the served result-store directory"
+    )
+    ctop.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh every --poll seconds until interrupted",
+    )
+    ctop.add_argument(
+        "--poll", type=float, default=2.0, help="refresh interval (s)"
+    )
+    ctop.add_argument(
+        "--stages",
+        action="store_true",
+        help="append the per-stage time breakdown below the worker table",
+    )
+    ctop.set_defaults(fn=cmd_campaign_top)
+
+    ctrace = csub.add_parser(
+        "trace",
+        help="merge trace sidecars into one Chrome trace_event JSON",
+    )
+    ctrace.add_argument(
+        "--store", required=True, help="the result-store directory"
+    )
+    ctrace.add_argument(
+        "--output", required=True, help="Chrome trace JSON output path"
+    )
+    ctrace.add_argument(
+        "--allow-empty",
+        action="store_true",
+        help="exit 0 even when no span records were found",
+    )
+    ctrace.set_defaults(fn=cmd_campaign_trace)
 
     cexp = csub.add_parser(
         "export", help="flatten store records to CSV/JSON for analysis"

@@ -32,6 +32,7 @@ import abc
 
 import numpy as np
 
+from .. import obs
 from ..gf2.bitmat import unpack_rows
 from ..sim.bitbatch import (
     BitSampleBatch,
@@ -42,6 +43,11 @@ from ..sim.bitbatch import (
     unique_shot_words,
 )
 from ..sim.dem import DetectorErrorModel
+
+# Unique-syndrome dedup ratio: decode.unique / decode.shots is the
+# fraction of shots that actually reached a decoder.
+_DECODE_SHOTS = obs.counter("decode.shots")
+_DECODE_UNIQUE = obs.counter("decode.unique")
 
 
 class Decoder(abc.ABC):
@@ -125,6 +131,8 @@ class Decoder(abc.ABC):
                         observables[o, -1] = full >> np.uint64(64 - tail)
             return BitSampleBatch(batch.detectors, observables, shots)
         unique, inverse = unique_shot_words(batch.shot_syndromes())
+        _DECODE_SHOTS.add(shots)
+        _DECODE_UNIQUE.add(unique.shape[0])
         predictions = self._decode_unique_cached(unique)
         observables = scatter_unique(predictions, inverse)
         return BitSampleBatch(batch.detectors, observables, shots)

@@ -41,10 +41,19 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import obs
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .base import Decoder
 
 FORMAT = "syndrome-cache-v1"
+
+# Fleet-visible instruments (per-instance .stats stay authoritative for
+# a single handle; these aggregate every cache in the process).
+_HITS = obs.counter("syncache.hits")
+_MISSES = obs.counter("syncache.misses")
+_INSERTS = obs.counter("syncache.inserts")
+_LOOKUP_S = obs.histogram("syncache.lookup_s")
 
 _TAG_SAFE = re.compile(r"[^A-Za-z0-9_.-]")
 
@@ -282,6 +291,7 @@ class SyndromeCache:
         value_bytes)`` uint8 with missed rows zero; ``hit_mask`` is a
         ``(g,)`` boolean.
         """
+        clock = obs.StopWatch()
         keys = np.ascontiguousarray(keys, dtype=np.uint64)
         g = keys.shape[0]
         values = np.zeros((g, self.value_bytes), dtype=np.uint8)
@@ -309,6 +319,9 @@ class SyndromeCache:
                 nhits = len(rows)
         self.hits += nhits
         self.misses += g - nhits
+        _HITS.add(nhits)
+        _MISSES.add(g - nhits)
+        _LOOKUP_S.record(clock.elapsed)
         return values, hit_mask
 
     def insert(self, keys: np.ndarray, values: np.ndarray) -> None:
@@ -328,6 +341,7 @@ class SyndromeCache:
             value = values[i].tobytes()
             self._table[key] = value
             fresh.append((key, value))
+        _INSERTS.add(len(fresh))
         self._append(fresh)
 
     @property

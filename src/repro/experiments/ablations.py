@@ -18,10 +18,9 @@ And the alternative from related work:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from .. import obs
 from ..analysis.deff import estimate_effective_distance
 from ..circuits import build_flagged_memory_experiment, poor_schedule
 from ..codes import rotated_surface_code
@@ -106,11 +105,14 @@ def run_solver_backends(
     for method in ("graphlike", "isd", "maxsat"):
         times, weights, solved = [], [], 0
         for sub in subgraphs:
-            t0 = time.monotonic()
-            sol = solve_min_weight_logical(
-                sub, np.random.default_rng(seed), method=method, maxsat_timeout=60
-            )
-            dt = time.monotonic() - t0
+            with obs.timed() as clock:
+                sol = solve_min_weight_logical(
+                    sub,
+                    np.random.default_rng(seed),
+                    method=method,
+                    maxsat_timeout=60,
+                )
+            dt = clock.elapsed
             if sol is not None:
                 solved += 1
                 times.append(dt)

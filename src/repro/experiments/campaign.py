@@ -37,12 +37,13 @@ import itertools
 import json
 import os
 import re
-import time
 from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
+from ..obs.trace import emit_metrics
 from ..analysis.stats import DEFAULT_CONFIDENCE, RateEstimate
 from ..circuits import (
     coloration_schedule,
@@ -61,6 +62,9 @@ from ..sim.dem import DetectorErrorModel
 from ..sim.sampler import DemSampler
 from .store import ResultStore, canonical_json, job_key
 from .shotrunner import ExecutionConfig, resolve_execution, run_shot_chunks
+
+_JOBS_EXECUTED = obs.counter("campaign.executed")
+_JOBS_HIT = obs.counter("campaign.hits")
 
 JOB_FORMAT = "campaign-job-v1"
 
@@ -501,6 +505,15 @@ def execute_job(
         sampler=cache.sampler(job) if cfg.workers <= 1 else None,
         dec=cache.decoder(job) if cfg.workers <= 1 else None,
     )
+    with obs.span(
+        "job", key=job.key()[:16], estimator=job.estimator, code=job.code
+    ):
+        return _execute_job_inner(job, cache, cfg)
+
+
+def _execute_job_inner(
+    job: CampaignJob, cache: CompileCache, cfg: ExecutionConfig
+) -> dict[str, Any]:
     dem = cache.dem(job)
     rng = np.random.default_rng(job.seed_sequence())
     if cfg.syndrome_cache_dir is not None and cfg.workers <= 1:
@@ -644,6 +657,10 @@ def run_campaign(
             else None
         )
     cfg = cfg.replace(syndrome_cache_dir=syndrome_cache_dir)
+    if obs.enabled() and obs.state.telemetry_dir is None:
+        # Telemetry rides the store directory (sidecars only — never
+        # record content); in-memory stores keep metrics but no traces.
+        obs.configure(telemetry_dir=obs.telemetry_dir_for(store.path))
     report = CampaignReport(store=store, jobs=jobs)
     seen: set[str] = set()
     for i, job in enumerate(jobs):
@@ -657,25 +674,31 @@ def run_campaign(
         cached = store.get(key)
         if cached is not None:
             report.hits += 1
+            _JOBS_HIT.add()
             report.records[key] = cached
             if progress is not None:
                 progress(f"[{i + 1}/{len(jobs)}] hit  {_describe(job, labels)}")
             continue
         if progress is not None:
             progress(f"[{i + 1}/{len(jobs)}] run  {_describe(job, labels)}")
-        t0 = time.monotonic()
-        result = execute_job(job, cache=cache, config=cfg)
+        with obs.timed("campaign.job_s") as clock:
+            result = execute_job(job, cache=cache, config=cfg)
         store.put(
             key,
             job.to_payload(),
             result,
             label=(labels or {}).get(key),
-            meta={**(meta or {}), "elapsed_s": time.monotonic() - t0},
+            meta={**(meta or {}), "elapsed_s": clock.elapsed},
         )
         report.executed.append(key)
+        _JOBS_EXECUTED.add()
         report.records[key] = store.get(key)
     if cfg.syndrome_cache_dir is not None:
         report.syndrome_stats = cache.syndrome_cache_stats()
+    if report.executed:
+        # Leave final counter/histogram state in the sidecars so a
+        # finished run answers `campaign status --telemetry` offline.
+        emit_metrics(obs.snapshot())
     return report
 
 

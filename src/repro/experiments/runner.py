@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from .. import obs
+from ..obs.log import get_logger
 from . import (
     fig01_predictors,
     fig06_schedules,
@@ -31,6 +32,8 @@ from . import (
     table1_codes,
     table2_models,
 )
+
+_log = get_logger("runner")
 
 ALL_CODES = (
     "surface_d3",
@@ -203,11 +206,11 @@ def main(argv: list[str] | None = None) -> int:
     for target in targets:
         if target not in EXPERIMENTS:
             parser.error(f"unknown experiment {target!r}")
-        t0 = time.monotonic()
-        for result in EXPERIMENTS[target](args):
-            result.print()
-            print()
-        print(f"[{target} finished in {time.monotonic() - t0:.1f}s]\n")
+        with obs.timed("runner.experiment_s") as clock:
+            for result in EXPERIMENTS[target](args):
+                result.print()
+                print()
+        _log.info("experiment finished", target=target, elapsed_s=clock.elapsed)
     return 0
 
 

@@ -52,6 +52,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from .. import obs
+from ..obs.log import get_logger
 from .campaign import (
     CampaignJob,
     CampaignSpec,
@@ -63,6 +65,16 @@ from .store import DEFAULT_SHARD_PREFIX, ResultStore, canonical_json, job_key
 
 QUEUE_FORMAT = "campaign-queue-v1"
 LEASE_FORMAT = "campaign-lease-v1"
+
+_log = get_logger("service")
+
+# Lease-protocol instruments, maintained inside the lease helpers so
+# every caller (worker loop, tests, external tooling) is counted.
+_LEASE_CLAIMS = obs.counter("lease.claims")
+_LEASE_TAKEOVERS = obs.counter("lease.takeovers")
+_LEASE_RENEWS = obs.counter("lease.renews")
+_LEASE_RENEW_LOST = obs.counter("lease.renew_lost")
+_LEASE_RELEASES = obs.counter("lease.releases")
 
 DEFAULT_TTL = 60.0
 DEFAULT_POLL = 0.5
@@ -236,11 +248,14 @@ def claim_lease(path: str, worker_id: str, ttl: float) -> bool:
             os.replace(tmp, path)
         except OSError:
             return False
+        _LEASE_CLAIMS.add()
+        _LEASE_TAKEOVERS.add()
         return True
     try:
         os.write(fd, body)
     finally:
         os.close(fd)
+    _LEASE_CLAIMS.add()
     return True
 
 
@@ -248,6 +263,7 @@ def renew_lease(path: str, worker_id: str, ttl: float) -> bool:
     """Extend a lease we hold; False if it was lost to a takeover."""
     lease = read_lease(path)
     if lease is None or lease.get("worker") != worker_id:
+        _LEASE_RENEW_LOST.add()
         return False
     tmp = f"{path}.{worker_id}.tmp"
     try:
@@ -256,6 +272,7 @@ def renew_lease(path: str, worker_id: str, ttl: float) -> bool:
         os.replace(tmp, path)
     except OSError:
         return False
+    _LEASE_RENEWS.add()
     return True
 
 
@@ -264,6 +281,7 @@ def release_lease(path: str, worker_id: str) -> None:
     if lease is not None and lease.get("worker") == worker_id:
         try:
             os.remove(path)
+            _LEASE_RELEASES.add()
         except OSError:
             pass
 
@@ -319,6 +337,66 @@ def worker_loop(
     """
     store_path = os.fspath(store_path)
     worker_id = worker_id or default_worker_id()
+    if obs.enabled() and obs.state.telemetry_dir is None:
+        # Sidecars ride the store directory, like queue and leases.
+        obs.configure(telemetry_dir=obs.telemetry_dir_for(store_path))
+    report = WorkerReport(worker_id=worker_id)
+    started_at = time.time()
+
+    def beat(group: str | None, **extra: Any) -> None:
+        obs.write_heartbeat(
+            worker_id,
+            group=group,
+            jobs_done=len(report.executed),
+            started_at=started_at,
+            metrics=obs.snapshot(),
+            extra={
+                "claims": report.claims,
+                "takeovers": report.takeovers,
+                "passes": report.passes,
+                **extra,
+            },
+        )
+
+    with obs.worker_context(worker_id):
+        try:
+            return _worker_loop(
+                store_path,
+                worker_id,
+                ttl,
+                poll,
+                once,
+                max_jobs,
+                timeout,
+                config,
+                progress,
+                chaos_exit_after,
+                report,
+                beat,
+            )
+        finally:
+            # Final sidecar state: without this, a finished fleet could
+            # not answer `campaign status --telemetry` offline.  (The
+            # chaos os._exit path skips it — crashed workers leave no
+            # parting snapshot, by design.)
+            obs.emit_metrics(obs.snapshot(), worker=worker_id)
+            beat(None, done=True)
+
+
+def _worker_loop(
+    store_path: str,
+    worker_id: str,
+    ttl: float,
+    poll: float,
+    once: bool,
+    max_jobs: int | None,
+    timeout: float | None,
+    config: ExecutionConfig | None,
+    progress: Callable[[str], None] | None,
+    chaos_exit_after: int | None,
+    report: WorkerReport,
+    beat: Callable[..., None],
+) -> WorkerReport:
     # Workers always append sharded: a fleet's concurrent writes spread
     # over the shard files instead of contending on one results.jsonl.
     store = ResultStore(store_path, shard_prefix=DEFAULT_SHARD_PREFIX)
@@ -328,8 +406,13 @@ def worker_loop(
         syndrome_writer_tag=worker_id,
     )
     cache = CompileCache()
-    report = WorkerReport(worker_id=worker_id)
-    say = progress or (lambda _msg: None)
+
+    def say(msg: str) -> None:
+        # Back-compat callback; the structured logger is the primary
+        # progress channel (stderr, REPRO_LOG-leveled).
+        if progress is not None:
+            progress(msg)
+
     deadline = time.monotonic() + timeout if timeout is not None else None
 
     def out_of_time() -> bool:
@@ -340,6 +423,7 @@ def worker_loop(
 
     while True:
         report.passes += 1
+        beat(None)
         entries = read_queue(store_path)
         if entries is None:
             if once or out_of_time():
@@ -366,13 +450,18 @@ def worker_loop(
                 return report
             lease_path = os.path.join(lease_dir(store_path), f"{aff}.lease")
             existing = read_lease(lease_path)
-            if not claim_lease(lease_path, worker_id, ttl):
+            with obs.span("lease", group=aff, action="claim") as lease_sp:
+                claimed = claim_lease(lease_path, worker_id, ttl)
+                lease_sp.set(claimed=claimed)
+            if not claimed:
                 continue
             claimed_any = True
             report.claims += 1
             if existing is not None:
                 report.takeovers += 1
                 say(f"{worker_id}: took over expired lease {aff}")
+                _log.warn("lease takeover", worker=worker_id, group=aff)
+            beat(aff)
             try:
                 store.reload()
                 for entry in group:
@@ -384,19 +473,24 @@ def worker_loop(
                         continue
                     job = CampaignJob.from_payload(entry["job"])
                     say(f"{worker_id}: run {key[:12]} ({aff})")
-                    t0 = time.monotonic()
-                    result = execute_job(job, cache=cache, config=cfg)
-                    store.put(
-                        key,
-                        entry["job"],
-                        result,
-                        label=entry.get("label"),
-                        meta={
-                            "worker": worker_id,
-                            "elapsed_s": time.monotonic() - t0,
-                        },
+                    _log.info(
+                        "run job", worker=worker_id, key=key[:12], group=aff
                     )
+                    with obs.timed("service.job_s") as clock:
+                        result = execute_job(job, cache=cache, config=cfg)
+                    with obs.span("store", job=key[:12]):
+                        store.put(
+                            key,
+                            entry["job"],
+                            result,
+                            label=entry.get("label"),
+                            meta={
+                                "worker": worker_id,
+                                "elapsed_s": clock.elapsed,
+                            },
+                        )
                     report.executed.append(key)
+                    beat(aff)
                     if (
                         chaos_exit_after is not None
                         and len(report.executed) >= chaos_exit_after
@@ -405,7 +499,8 @@ def worker_loop(
                         # Another worker must take the group over once
                         # the TTL lapses.
                         os._exit(42)
-                    renew_lease(lease_path, worker_id, ttl)
+                    with obs.span("lease", group=aff, action="renew"):
+                        renew_lease(lease_path, worker_id, ttl)
             finally:
                 release_lease(lease_path, worker_id)
         if once:

@@ -29,6 +29,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..analysis.stats import RateEstimate
 from ..decoders.base import Decoder
 from ..decoders.metrics import LogicalErrorRate, MemoryResult, dem_for, make_decoder
@@ -41,6 +42,11 @@ from ..sim.dem import DetectorErrorModel
 from ..sim.sampler import DemSampler
 
 _ALIGN = WORD_BITS
+
+# Chunk-latency instruments; the matching sample/decode spans land in
+# the trace sidecars when a telemetry dir is configured.
+_CHUNK_SAMPLE_S = obs.histogram("chunk.sample_s")
+_CHUNK_DECODE_S = obs.histogram("chunk.decode_s")
 
 
 @dataclass(frozen=True)
@@ -227,9 +233,13 @@ def _sample_chunk(
 ) -> BitSampleBatch:
     """Sampling half of a chunk: pure function of the chunk's own seed,
     so it can run on a prefetch thread without touching decode state."""
-    _, chunk_shots, seed = job
-    rng = np.random.default_rng(seed)
-    return sampler.sample_packed(chunk_shots, rng)
+    index, chunk_shots, seed = job
+    clock = obs.StopWatch()
+    with obs.span("sample", chunk=index, shots=chunk_shots):
+        rng = np.random.default_rng(seed)
+        batch = sampler.sample_packed(chunk_shots, rng)
+    _CHUNK_SAMPLE_S.record(clock.elapsed)
+    return batch
 
 
 def _decode_chunk(
@@ -239,10 +249,14 @@ def _decode_chunk(
     dense_reference: bool,
 ) -> ChunkResult:
     index, chunk_shots, _ = job
-    if dense_reference:
-        failures = dec.count_failures_dense(batch)
-    else:
-        failures = dec.count_failures_packed(batch)
+    clock = obs.StopWatch()
+    with obs.span("decode", chunk=index, shots=chunk_shots) as sp:
+        if dense_reference:
+            failures = dec.count_failures_dense(batch)
+        else:
+            failures = dec.count_failures_packed(batch)
+        sp.set(failures=failures)
+    _CHUNK_DECODE_S.record(clock.elapsed)
     return ChunkResult(index=index, shots=chunk_shots, failures=failures)
 
 

@@ -45,6 +45,11 @@ import os
 import re
 from typing import Any, Iterator
 
+from .. import obs
+
+_STORE_APPENDS = obs.counter("store.appends")
+_STORE_APPEND_S = obs.histogram("store.append_s")
+
 STORE_FILENAME = "results.jsonl"
 DEFAULT_SHARD_PREFIX = 1
 
@@ -292,6 +297,7 @@ class ResultStore:
             self._append_line(path, line)
 
     def _append_line(self, path: str, line: str) -> None:
+        clock = obs.StopWatch()
         with open(path, "a+b") as fh:
             # A writer killed mid-append leaves an unterminated
             # partial line.  Terminate it before appending, so the
@@ -305,6 +311,8 @@ class ResultStore:
             fh.flush()
             os.fsync(fh.fileno())
             self._offsets[path] = fh.tell()
+        _STORE_APPENDS.add()
+        _STORE_APPEND_S.record(clock.elapsed)
 
     # -- compaction -----------------------------------------------------------
 

@@ -10,10 +10,9 @@ timeout (the paper itself reports a timeout for [[60,2,6]]).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from .. import obs
 from ..circuits import coloration_schedule
 from ..codes import load_benchmark_code
 from ..core import DecodingGraph, build_maxsat_model, find_ambiguous_subgraph
@@ -54,9 +53,9 @@ def run(
             np.asarray(l_full.todense(), dtype=np.uint8),
         )
         stats = wcnf_global.stats()
-        t0 = time.monotonic()
-        outcome = MaxSatSolver(wcnf_global, timeout=global_timeout).solve()
-        elapsed = time.monotonic() - t0
+        with obs.timed() as clock:
+            outcome = MaxSatSolver(wcnf_global, timeout=global_timeout).solve()
+        elapsed = clock.elapsed
         result.add(
             formulation="global",
             code=name,

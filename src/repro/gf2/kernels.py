@@ -58,7 +58,17 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from .. import obs
+
 _WORD = 64
+
+# Dispatch instruments: per-kernel call counts plus a per-backend call
+# counter (rebound by set_backend) so a fleet summary shows which
+# implementation actually served the hot path.
+_TRANSPOSE_CALLS = obs.counter("kernel.transpose")
+_POPCOUNT_CALLS = obs.counter("kernel.popcount")
+_UNIQUE_CALLS = obs.counter("kernel.unique")
+_BACKEND_CALLS = obs.counter("kernel.backend.numpy")
 
 # -- numpy-version-portable popcount ------------------------------------------
 
@@ -558,9 +568,10 @@ def set_backend(name: str) -> str:
     backend = _make_backend(name)
     if backend is None:
         raise RuntimeError(f"kernel backend {name!r} is unavailable here")
-    global _ACTIVE
+    global _ACTIVE, _BACKEND_CALLS
     previous = _ACTIVE.name
     _ACTIVE = backend
+    _BACKEND_CALLS = obs.counter(f"kernel.backend.{backend.name}")
     return previous
 
 
@@ -598,11 +609,15 @@ def transpose_words(words: np.ndarray, ncols: int) -> np.ndarray:
     invariant every packer in this package maintains; output tail bits
     (rows ``>= m``) come out zero for the same reason.
     """
+    _TRANSPOSE_CALLS.add()
+    _BACKEND_CALLS.add()
     return _ACTIVE.transpose_words(words, ncols)
 
 
 def popcount_words(words: np.ndarray, axis: int | None = None) -> np.ndarray | int:
     """Total set bits, optionally along one axis."""
+    _POPCOUNT_CALLS.add()
+    _BACKEND_CALLS.add()
     return _ACTIVE.popcount_words(words, axis)
 
 
@@ -616,6 +631,8 @@ def unique_shot_words(per_shot: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     Group order is arbitrary by contract (backends differ); group 0 is
     the all-zero key whenever any shot has it.
     """
+    _UNIQUE_CALLS.add()
+    _BACKEND_CALLS.add()
     return _ACTIVE.unique_shot_words(per_shot)
 
 

@@ -1,0 +1,174 @@
+"""Fleet observability: metrics, span traces, heartbeats, structured logs.
+
+The stack runs as a coordinator-free distributed service over
+native-speed kernels and a persistent syndrome cache — but a fleet that
+is slow, churning leases, or missing its cache used to be opaque: ~40
+scattered ``print()`` calls and ad-hoc ``time.monotonic()`` timers.
+This package is the measurement substrate, built around two hard
+constraints:
+
+**Telemetry never touches results.**  Everything here rides *sidecar
+files* (``<store>/telemetry/``) and the record ``meta`` envelope — both
+outside ``compact()``/``content_digest()`` — so an instrumented fleet
+run is byte-identical to an uninstrumented single-process run
+(``tests/test_obs.py`` asserts it; the ``service-smoke`` CI job asserts
+it across real crashed-and-raced worker processes).
+
+**Off means free.**  Observability is opt-in (``REPRO_OBS=on`` or
+:func:`configure`); when off — the default, and what benches run under —
+every instrument call is a single flag check, no allocation, no I/O, so
+the bench-smoke regression gate stays green.
+
+The pieces (each its own module, re-exported here):
+
+:mod:`~repro.obs.metrics`
+    Process-local registry of named counters, gauges, and fixed
+    log-bin histograms (p50/p99 without storing samples).
+:mod:`~repro.obs.trace`
+    ``span("decode", job=...)`` context managers appending to
+    ``trace-<worker>.jsonl`` sidecars, plus a Chrome ``trace_event``
+    exporter for flame-chart viewing and the per-stage aggregator
+    behind ``campaign status --telemetry``.
+:mod:`~repro.obs.heartbeat`
+    Atomic per-worker liveness files (pid, current group, jobs done,
+    metrics snapshot) consumed by ``campaign top``.
+:mod:`~repro.obs.log`
+    A tiny structured stderr logger (level via ``REPRO_LOG``) replacing
+    ad-hoc progress prints; stdout stays reserved for CLI tables.
+
+Convention for new code (see ROADMAP): name instruments
+``<subsystem>.<thing>`` (``syncache.hits``, ``lease.takeovers``), fetch
+them once at module scope via :func:`counter`/:func:`gauge`/
+:func:`histogram`, and wrap orchestration-layer stages in
+:func:`span` — never instrument per-shot inner loops.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from ._state import state
+from .heartbeat import read_heartbeats, write_heartbeat
+from .log import get_logger, log
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    registry,
+)
+from .timing import StopWatch, timed
+from .trace import (
+    NULL_SPAN,
+    Span,
+    aggregate_stages,
+    chrome_trace,
+    emit_metrics,
+    read_trace_dir,
+    span,
+    worker_context,
+    write_chrome_trace,
+)
+
+
+def enabled() -> bool:
+    """Whether instruments record (``REPRO_OBS`` / :func:`configure`)."""
+    return state.enabled
+
+
+def configure(
+    enabled: bool | None = None,
+    telemetry_dir: str | os.PathLike | None = "keep",
+) -> None:
+    """Override the env-derived switchboard (tests, embedding callers).
+
+    ``telemetry_dir="keep"`` (default) leaves the sidecar root
+    unchanged; pass a path to set it or ``None`` to clear it.
+    """
+    if enabled is not None:
+        state.enabled = bool(enabled)
+    if telemetry_dir != "keep":
+        state.telemetry_dir = (
+            os.fspath(telemetry_dir) if telemetry_dir is not None else None
+        )
+
+
+@contextmanager
+def enabled_to(value: bool, telemetry_dir: str | os.PathLike | None = None):
+    """Scoped :func:`configure` — restores the previous switchboard."""
+    prev_enabled, prev_dir = state.enabled, state.telemetry_dir
+    configure(enabled=value, telemetry_dir=telemetry_dir)
+    try:
+        yield
+    finally:
+        state.enabled = prev_enabled
+        state.telemetry_dir = prev_dir
+
+
+def telemetry_dir_for(store_path: str | os.PathLike | None) -> str | None:
+    """The sidecar directory of a store: ``<store>/telemetry/``.
+
+    The PR-7 convention — the store directory is the protocol — extends
+    to telemetry: every worker appends its trace/heartbeat sidecars
+    here, so fleet-wide traces aggregate with zero coordination.
+    Returns ``None`` for in-memory stores.
+    """
+    if store_path is None:
+        return None
+    return os.path.join(os.fspath(store_path), "telemetry")
+
+
+# Registry facade: the process-local default registry's instruments.
+
+
+def counter(name: str) -> Counter:
+    return registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return registry.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return registry.histogram(name)
+
+
+def snapshot() -> dict:
+    """JSON-safe snapshot of every instrument in the default registry."""
+    return registry.snapshot()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "StopWatch",
+    "aggregate_stages",
+    "chrome_trace",
+    "configure",
+    "counter",
+    "emit_metrics",
+    "enabled",
+    "enabled_to",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "log",
+    "merge_snapshots",
+    "read_heartbeats",
+    "read_trace_dir",
+    "registry",
+    "snapshot",
+    "span",
+    "state",
+    "telemetry_dir_for",
+    "timed",
+    "worker_context",
+    "write_chrome_trace",
+    "write_heartbeat",
+]

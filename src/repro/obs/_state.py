@@ -1,0 +1,30 @@
+"""The observability switchboard — a leaf module every instrument reads.
+
+Kept import-free (stdlib ``os`` only) so :mod:`repro.obs.metrics`,
+:mod:`repro.obs.trace`, and the package ``__init__`` can all depend on
+it without cycles.  ``state.enabled`` is THE flag the zero-overhead
+no-op path checks; ``state.telemetry_dir`` roots the sidecar files.
+"""
+
+from __future__ import annotations
+
+import os
+
+_ON_VALUES = ("1", "on", "true", "yes")
+
+
+def env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "off").strip().lower() in _ON_VALUES
+
+
+class ObsState:
+    """Process-global observability configuration."""
+
+    __slots__ = ("enabled", "telemetry_dir")
+
+    def __init__(self):
+        self.enabled = env_enabled()
+        self.telemetry_dir: str | None = None
+
+
+state = ObsState()

@@ -1,0 +1,215 @@
+"""Fleet dashboard rendering for ``campaign top`` / ``status --telemetry``.
+
+Pure functions from sidecar files to lines of text: readers pull the
+``<store>/telemetry/`` traces and heartbeats (:mod:`repro.obs.trace`,
+:mod:`repro.obs.heartbeat`), renderers return line lists the CLI
+prints.  Nothing here mutates state or requires live workers — a
+finished (or crashed) fleet renders from what its sidecars captured.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from .heartbeat import read_heartbeats
+from .metrics import merge_snapshots
+from .trace import aggregate_stages, fold_latest_snapshot, read_trace_dir
+
+
+def telemetry_dir_of(store_path: str | os.PathLike) -> str:
+    return os.path.join(os.fspath(store_path), "telemetry")
+
+
+def telemetry_summary(store_path: str | os.PathLike) -> dict[str, Any]:
+    """Everything the dashboards need, from one store's sidecars.
+
+    Returns ``{"dir", "stages", "metrics", "workers", "wall_s",
+    "heartbeats", "span_records"}``; heartbeat metrics snapshots are
+    merged into the trace-borne ones (a crashed worker leaves no final
+    trace metrics line, but its last heartbeat survives).
+    """
+    tdir = telemetry_dir_of(store_path)
+    records = read_trace_dir(tdir)
+    agg = aggregate_stages(records)
+    beats = read_heartbeats(tdir)
+    # Registry snapshots are cumulative per *process*; fold trace-borne
+    # and heartbeat-borne ones into one newest-per-(host, pid) view so
+    # a crashed worker's last heartbeat still counts, without summing
+    # the same process twice.
+    latest: dict = {}
+    for record in records:
+        if record.get("kind") == "metrics" and isinstance(
+            record.get("metrics"), dict
+        ):
+            fold_latest_snapshot(latest, record, record["metrics"])
+    for b in beats:
+        if isinstance(b.get("metrics"), dict):
+            fold_latest_snapshot(latest, b, b["metrics"])
+    if latest:
+        agg["metrics"] = merge_snapshots(s for _, s in latest.values())
+    return {
+        "dir": tdir,
+        "stages": agg["stages"],
+        "metrics": agg["metrics"],
+        "workers": agg["workers"],
+        "wall_s": agg["wall_s"],
+        "heartbeats": beats,
+        "span_records": sum(1 for r in records if r.get("kind") == "span"),
+    }
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 120.0:
+        return f"{seconds / 60.0:.1f}m"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _ratio(num: float, den: float) -> float:
+    return num / den if den else 0.0
+
+
+def render_stage_table(summary: dict[str, Any]) -> list[str]:
+    """Per-stage time breakdown lines from span aggregation."""
+    stages = summary["stages"]
+    if not stages:
+        return ["no span records (run with REPRO_OBS=on to collect traces)"]
+    lines = [
+        f"{'stage':<10} {'count':>7} {'total':>9} {'mean':>9} "
+        f"{'max':>9} {'share':>6}"
+    ]
+    for name, entry in stages.items():
+        mean = _ratio(entry["total_s"], entry["count"])
+        lines.append(
+            f"{name:<10} {entry['count']:>7d} "
+            f"{_fmt_seconds(entry['total_s']):>9} {_fmt_seconds(mean):>9} "
+            f"{_fmt_seconds(entry['max_s']):>9} {entry['share']:>5.0%}"
+        )
+    if summary.get("wall_s"):
+        lines.append(
+            f"wall span {_fmt_seconds(summary['wall_s'])} across "
+            f"{len(summary['workers'])} worker(s), "
+            f"{summary['span_records']} spans"
+        )
+    return lines
+
+
+def render_counters(summary: dict[str, Any]) -> list[str]:
+    """Derived-rate lines: cache hits, dedup ratio, lease traffic."""
+    counters = summary["metrics"].get("counters") or {}
+    if not counters:
+        return []
+    lines: list[str] = []
+    hits = counters.get("syncache.hits", 0)
+    misses = counters.get("syncache.misses", 0)
+    if hits or misses:
+        lines.append(
+            f"syndrome cache: {hits} hits / {misses} misses "
+            f"({_ratio(hits, hits + misses):.0%} hit rate), "
+            f"{counters.get('syncache.inserts', 0)} inserts"
+        )
+    shots = counters.get("decode.shots", 0)
+    unique = counters.get("decode.unique", 0)
+    if shots:
+        lines.append(
+            f"decode dedup: {unique} unique syndromes for {shots} shots "
+            f"({_ratio(unique, shots):.2%} reach a decoder)"
+        )
+    if counters.get("sampler.shots"):
+        lines.append(
+            f"sampler: {counters['sampler.shots']} shots, "
+            f"{counters.get('sampler.fires', 0)} error fires"
+        )
+    lease = {
+        k.split(".", 1)[1]: v
+        for k, v in counters.items()
+        if k.startswith("lease.") and v
+    }
+    if lease:
+        lines.append(
+            "leases: "
+            + ", ".join(f"{v} {k}" for k, v in sorted(lease.items()))
+        )
+    if counters.get("store.appends"):
+        lines.append(f"store: {counters['store.appends']} appends")
+    backends = {
+        k.split(".", 2)[2]: v
+        for k, v in counters.items()
+        if k.startswith("kernel.backend.") and v
+    }
+    if backends:
+        lines.append(
+            "kernel dispatch: "
+            + ", ".join(f"{v} via {k}" for k, v in sorted(backends.items()))
+        )
+    return lines
+
+
+def render_histograms(summary: dict[str, Any]) -> list[str]:
+    """p50/p99 latency lines for the chunk/store instruments."""
+    hists = summary["metrics"].get("histograms") or {}
+    lines: list[str] = []
+    for name, data in sorted(hists.items()):
+        if not isinstance(data, dict) or not data.get("count"):
+            continue
+        lines.append(
+            f"{name:<20} n={data['count']:<8d} "
+            f"p50={_fmt_seconds(data['p50']):>8} "
+            f"p99={_fmt_seconds(data['p99']):>8} "
+            f"total={_fmt_seconds(data['sum'])}"
+        )
+    return lines
+
+
+def render_top(
+    store_path: str | os.PathLike, stale_after: float = 10.0
+) -> list[str]:
+    """The ``campaign top`` screen: one line per worker heartbeat."""
+    beats = read_heartbeats(telemetry_dir_of(store_path))
+    if not beats:
+        return [
+            "no worker heartbeats "
+            "(fleet not running, or REPRO_OBS not 'on' in workers)"
+        ]
+    lines = [
+        f"{'worker':<24} {'pid':>7} {'state':<6} {'group':<18} "
+        f"{'jobs':>5} {'uptime':>8} {'beat age':>9}"
+    ]
+    for b in beats:
+        age = b.get("age_s")
+        if b.get("done"):
+            state_s = "done"
+        elif age is not None and age > stale_after:
+            state_s = "STALE"
+        else:
+            state_s = "live"
+        uptime = b.get("uptime_s")
+        lines.append(
+            f"{str(b.get('worker', '?')):<24} {b.get('pid', 0):>7} "
+            f"{state_s:<6} {str(b.get('group') or '-'):<18} "
+            f"{b.get('jobs_done', 0):>5} "
+            f"{_fmt_seconds(uptime) if uptime is not None else '-':>8} "
+            f"{_fmt_seconds(age) if age is not None else '-':>9}"
+        )
+    return lines
+
+
+def render_telemetry(store_path: str | os.PathLike) -> list[str]:
+    """The full ``campaign status --telemetry`` report."""
+    summary = telemetry_summary(store_path)
+    lines = [f"telemetry sidecars: {summary['dir']}"]
+    lines += render_stage_table(summary)
+    counters = render_counters(summary)
+    if counters:
+        lines.append("")
+        lines += counters
+    hists = render_histograms(summary)
+    if hists:
+        lines.append("")
+        lines += hists
+    if summary["heartbeats"]:
+        lines.append("")
+        lines += render_top(store_path)
+    return lines

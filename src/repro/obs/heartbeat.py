@@ -1,0 +1,101 @@
+"""Worker heartbeat files: the liveness half of the telemetry sidecars.
+
+Each worker periodically rewrites ``heartbeat-<worker>.json`` in
+``<store>/telemetry/`` (tmp + ``os.replace`` so readers never see a
+torn file — same discipline as the lease takeover path).  The payload
+is self-describing: pid, host, current lease group, jobs done, uptime,
+and a full metrics snapshot.  ``campaign top`` renders these; staleness
+is judged by the reader from file ``ts`` vs. now, mirroring how lease
+expiry is judged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Any
+
+from ._state import state
+from .trace import _safe_name
+
+
+def write_heartbeat(
+    worker_id: str,
+    *,
+    group: str | None = None,
+    jobs_done: int = 0,
+    started_at: float | None = None,
+    metrics: dict[str, Any] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> None:
+    """Atomically (re)write this worker's heartbeat file.
+
+    No-op unless observability is on and a telemetry dir is configured;
+    never raises (a full disk must not kill a worker).
+    """
+    if not state.enabled or state.telemetry_dir is None:
+        return
+    now = time.time()
+    payload: dict[str, Any] = {
+        "worker": worker_id,
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "ts": now,
+        "group": group,
+        "jobs_done": jobs_done,
+        "uptime_s": (now - started_at) if started_at is not None else None,
+    }
+    if metrics is not None:
+        payload["metrics"] = metrics
+    if extra:
+        payload.update(extra)
+    path = os.path.join(
+        state.telemetry_dir, f"heartbeat-{_safe_name(worker_id)}.json"
+    )
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        os.makedirs(state.telemetry_dir, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True, default=str)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def read_heartbeats(telemetry_dir: str | os.PathLike) -> list[dict[str, Any]]:
+    """All parseable heartbeat files, sorted by worker id.
+
+    Each dict gains ``age_s`` (now - its ``ts``); the caller decides
+    what counts as stale (``campaign top`` uses 3x the poll interval).
+    """
+    telemetry_dir = os.fspath(telemetry_dir)
+    now = time.time()
+    beats: list[dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(telemetry_dir))
+    except OSError:
+        return beats
+    for name in names:
+        if not (name.startswith("heartbeat-") and name.endswith(".json")):
+            continue
+        try:
+            with open(
+                os.path.join(telemetry_dir, name), encoding="utf-8"
+            ) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        ts = payload.get("ts")
+        payload["age_s"] = (
+            (now - ts) if isinstance(ts, (int, float)) else None
+        )
+        beats.append(payload)
+    beats.sort(key=lambda b: str(b.get("worker", "")))
+    return beats

@@ -1,0 +1,98 @@
+"""Structured stderr logger for progress/diagnostic lines.
+
+Replaces the ad-hoc ``print()`` progress lines in the runner and the
+service worker loop.  Contract: **stdout belongs to CLI tables and
+results**; everything a human reads while a run is in flight goes to
+stderr through here, one ``key=value``-suffixed line per event, so
+fleet logs stay greppable across interleaved workers.
+
+Level comes from ``REPRO_LOG`` (``debug``/``info``/``warn``/``error``;
+default ``info``).  Unlike metrics/traces this is NOT gated on
+``REPRO_OBS`` — progress lines were visible before this layer existed
+and stay visible; set ``REPRO_LOG=error`` to quiet them.
+
+No stdlib-``logging`` dependency by choice: no handler/config global
+state to collide with embedding applications, and the no-op path is one
+integer compare.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Any, TextIO
+
+_LEVELS = {"debug": 10, "info": 20, "warn": 30, "warning": 30, "error": 40}
+
+
+def _env_level() -> int:
+    return _LEVELS.get(
+        os.environ.get("REPRO_LOG", "info").strip().lower(), 20
+    )
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+class Logger:
+    """Leveled ``name: message key=value ...`` lines on one stream."""
+
+    __slots__ = ("name", "level", "stream")
+
+    def __init__(
+        self,
+        name: str,
+        level: int | None = None,
+        stream: TextIO | None = None,
+    ):
+        self.name = name
+        self.level = _env_level() if level is None else level
+        self.stream = stream  # None = sys.stderr resolved at call time
+
+    def _emit(self, level: int, tag: str, message: str, fields: dict) -> None:
+        if level < self.level:
+            return
+        suffix = "".join(
+            f" {key}={_format_value(value)}" for key, value in fields.items()
+        )
+        stamp = time.strftime("%H:%M:%S")
+        stream = self.stream if self.stream is not None else sys.stderr
+        try:
+            print(
+                f"{stamp} {tag:<5} {self.name}: {message}{suffix}",
+                file=stream,
+                flush=True,
+            )
+        except (OSError, ValueError):
+            pass  # a closed/broken stderr never takes down a worker
+
+    def debug(self, message: str, **fields: Any) -> None:
+        self._emit(10, "debug", message, fields)
+
+    def info(self, message: str, **fields: Any) -> None:
+        self._emit(20, "info", message, fields)
+
+    def warn(self, message: str, **fields: Any) -> None:
+        self._emit(30, "warn", message, fields)
+
+    def error(self, message: str, **fields: Any) -> None:
+        self._emit(40, "error", message, fields)
+
+
+_loggers: dict[str, Logger] = {}
+
+
+def get_logger(name: str) -> Logger:
+    """Named logger, cached per process (idiom: one per module)."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = Logger(name)
+    return logger
+
+
+log = get_logger("repro")

@@ -1,0 +1,248 @@
+"""Process-local metrics registry: counters, gauges, log-bin histograms.
+
+Instruments are named (``<subsystem>.<thing>``), created on first use,
+and live for the process — the idiom is one module-level fetch::
+
+    _HITS = obs.counter("syncache.hits")
+    ...
+    _HITS.add(n)
+
+Every mutator checks the global enable flag first (``repro.obs.state``),
+so a disabled instrument costs one attribute load and a branch — the
+zero-overhead contract the bench gate holds us to.  There is no label /
+tag system and no export protocol: a snapshot is a plain JSON dict that
+rides heartbeat files and trace sidecars, and aggregation across
+workers is summing snapshots (:func:`merge_snapshots`).
+
+Histograms use fixed logarithmic bins (factor ~2 per bin over
+``[1 µs, ~1 h]``) so p50/p99 come from ~32 ints per instrument instead
+of stored samples — the quantile error is bounded by the bin ratio,
+plenty for "where did the time go".
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterable
+
+from ._state import state as _state
+
+# Log-bin edges in seconds: 1 µs doubling up to ~4500 s.  Everything
+# below the first edge lands in bin 0, everything above the last in the
+# final overflow bin.
+_EDGE_COUNT = 32
+BIN_EDGES: tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(_EDGE_COUNT))
+
+
+class Counter:
+    """Monotonic add-only count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        if not _state.enabled:
+            return
+        # int += is not atomic across threads, but a torn telemetry
+        # count is a cosmetic error and a lock here would sit on the
+        # decode hot path; the registry lock protects structure only.
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """Last-set value (queue depths, warm-cache sizes, worker counts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if not _state.enabled:
+            return
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed log-bin duration histogram with count/sum/min/max."""
+
+    __slots__ = ("name", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.counts = [0] * (_EDGE_COUNT + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        if not _state.enabled:
+            return
+        seconds = float(seconds)
+        if seconds < 0.0 or seconds != seconds:  # negative or NaN
+            return
+        self.counts[_bin_index(seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def percentile(self, q: float) -> float:
+        """Approximate quantile (``q`` in [0, 1]) from the bins.
+
+        Returns the upper edge of the bin holding the q-th sample —
+        within one bin ratio (2x) of the true value by construction;
+        0.0 when empty.
+        """
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                return BIN_EDGES[i] if i < _EDGE_COUNT else self.max
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (_EDGE_COUNT + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+            "bins": list(self.counts),
+        }
+
+
+def _bin_index(seconds: float) -> int:
+    if seconds <= BIN_EDGES[0]:
+        return 0
+    if seconds > BIN_EDGES[-1]:
+        return _EDGE_COUNT
+    # frexp beats a bisect: bins are exact powers of two over 1e-6, and
+    # bin i spans (2^(i-1), 2^i] µs, i.e. i = ceil(log2(µs)).
+    mantissa, exponent = math.frexp(seconds / 1e-6)
+    index = exponent - 1 if mantissa == 0.5 else exponent
+    return min(_EDGE_COUNT - 1, max(0, index))
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot as one dict."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name)
+            return inst
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe state of every instrument: the heartbeat payload."""
+        with self._lock:
+            return {
+                "counters": {
+                    n: c.value for n, c in sorted(self._counters.items())
+                },
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.to_dict() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Zero every instrument (tests; instruments stay registered)."""
+        with self._lock:
+            for inst in (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            ):
+                inst.reset()
+
+
+def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Sum per-worker snapshots into one fleet view.
+
+    Counters and histogram counts/sums/bins add; gauges keep the last
+    value seen (they are point-in-time by nature); histogram min/max
+    combine; p50/p99 are recomputed from the merged bins.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    hists: dict[str, Histogram] = {}
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        for name, value in (snap.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in (snap.get("gauges") or {}).items():
+            gauges[name] = float(value)
+        for name, data in (snap.get("histograms") or {}).items():
+            if not isinstance(data, dict):
+                continue
+            hist = hists.get(name)
+            if hist is None:
+                hist = hists[name] = Histogram(name)
+            bins = data.get("bins") or []
+            for i, c in enumerate(bins[: _EDGE_COUNT + 1]):
+                hist.counts[i] += int(c)
+            hist.count += int(data.get("count", 0))
+            hist.total += float(data.get("sum", 0.0))
+            if hist.count:
+                hist.min = min(hist.min, float(data.get("min", math.inf)))
+                hist.max = max(hist.max, float(data.get("max", 0.0)))
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {n: h.to_dict() for n, h in sorted(hists.items())},
+    }
+
+
+registry = MetricsRegistry()

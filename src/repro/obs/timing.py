@@ -1,0 +1,50 @@
+"""Tiny timing helpers: the one replacement for ``t0 = time.monotonic()``.
+
+Four modules had the same copy-pasted block (``t0 = time.monotonic()
+... elapsed = time.monotonic() - t0``); :func:`timed` is that block as a
+context manager.  It is deliberately *not* gated on the observability
+flag — callers use the elapsed value functionally (record ``meta``,
+solver budgets), so it must tick even with ``REPRO_OBS=off``.  Pass a
+histogram name to additionally feed the metrics registry (which is
+gated, so the feed is free when off).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import registry
+
+
+class StopWatch:
+    """A started monotonic clock; read ``.elapsed`` at any point."""
+
+    __slots__ = ("_t0",)
+
+    def __init__(self):
+        self._t0 = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._t0
+
+    def restart(self) -> None:
+        self._t0 = time.monotonic()
+
+
+@contextmanager
+def timed(histogram: str | None = None) -> Iterator[StopWatch]:
+    """Time a block; optionally record the duration to a named histogram.
+
+    >>> with timed("campaign.job_s") as clock:
+    ...     do_work()
+    >>> clock.elapsed  # final duration, still readable after the block
+    """
+    clock = StopWatch()
+    try:
+        yield clock
+    finally:
+        if histogram is not None:
+            registry.histogram(histogram).record(clock.elapsed)

@@ -1,0 +1,348 @@
+"""Span tracing to append-only ``trace-<worker>.jsonl`` sidecar files.
+
+Rides the PR-7 "store directory is the protocol" convention: every
+worker — local thread, remote process, crashed-and-taken-over — appends
+spans to its own file under ``<store>/telemetry/``, so a fleet-wide
+trace needs zero coordination and survives any crash (each line is a
+complete JSON record; a torn final line is skipped on read).
+
+Record kinds:
+
+``{"kind": "span", "stage": ..., "worker": ..., "pid": ..., "ts": ...,
+"dur_s": ..., ...attrs}``
+    One completed stage (``sample``/``decode``/``job``/``lease``/...).
+    ``ts`` is wall-clock epoch seconds at span start (so records from
+    different hosts/processes line up), ``dur_s`` monotonic duration.
+
+``{"kind": "metrics", "worker": ..., "ts": ..., "metrics": {...}}``
+    A registry snapshot, emitted at worker exit — how cache hit rates
+    and counter totals reach ``campaign status --telemetry`` on a
+    finished run without a live process to ask.
+
+Spans only write when observability is enabled AND a telemetry dir is
+configured; otherwise :func:`span` yields the shared no-op
+:data:`NULL_SPAN` (no allocation, no I/O).  Worker identity is
+thread-local (:func:`worker_context`) so in-process fleets attribute
+spans per worker thread; unadopted threads fall back to ``pid<pid>``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ._state import state
+from .metrics import merge_snapshots
+
+_tls = threading.local()
+
+
+def current_worker() -> str:
+    """Thread-local worker id, falling back to a per-process default."""
+    worker = getattr(_tls, "worker", None)
+    if worker is not None:
+        return worker
+    return f"pid{os.getpid()}"
+
+
+@contextmanager
+def worker_context(worker_id: str) -> Iterator[None]:
+    """Attribute this thread's spans/metrics lines to ``worker_id``.
+
+    Used by in-process fleets (``serve_campaign`` threads) so each
+    worker thread writes its own ``trace-<worker>.jsonl``.  Helper
+    threads the worker spawns (e.g. streaming prefetch) are not
+    adopted and fall back to the process default — attribution is
+    best-effort, aggregation is per-directory so nothing is lost.
+    """
+    prev = getattr(_tls, "worker", None)
+    _tls.worker = worker_id
+    try:
+        yield
+    finally:
+        _tls.worker = prev
+
+
+def _safe_name(worker: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in worker)
+
+
+def _trace_path(worker: str) -> str | None:
+    if state.telemetry_dir is None:
+        return None
+    return os.path.join(state.telemetry_dir, f"trace-{_safe_name(worker)}.jsonl")
+
+
+def _append_record(record: dict[str, Any]) -> None:
+    path = _trace_path(record.get("worker") or current_worker())
+    if path is None:
+        return
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+    except OSError:
+        pass  # telemetry never takes down the run
+
+
+class Span:
+    """A live span; ``set()`` adds attributes before it closes."""
+
+    __slots__ = ("stage", "attrs", "_t0", "_ts", "_worker")
+
+    def __init__(self, stage: str, attrs: dict[str, Any]):
+        self.stage = stage
+        self.attrs = attrs
+        self._worker = current_worker()
+        self._ts = time.time()
+        self._t0 = time.monotonic()
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def _finish(self, error: str | None = None) -> None:
+        record: dict[str, Any] = {
+            "kind": "span",
+            "stage": self.stage,
+            "worker": self._worker,
+            "pid": os.getpid(),
+            "ts": self._ts,
+            "dur_s": time.monotonic() - self._t0,
+        }
+        if error is not None:
+            record["error"] = error
+        record.update(self.attrs)
+        _append_record(record)
+
+
+class _NullSpan:
+    """Shared do-nothing span returned when tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+@contextmanager
+def span(stage: str, **attrs: Any) -> Iterator[Span | _NullSpan]:
+    """Trace a stage; appends one record on exit (errors tagged).
+
+    >>> with obs.span("decode", job=job.key[:12]) as sp:
+    ...     out = decode(...)
+    ...     sp.set(shots=out.shots)
+    """
+    if not state.enabled or state.telemetry_dir is None:
+        yield NULL_SPAN
+        return
+    live = Span(stage, attrs)
+    try:
+        yield live
+    except BaseException as exc:
+        live._finish(error=type(exc).__name__)
+        raise
+    else:
+        live._finish()
+
+
+def emit_metrics(snapshot: dict[str, Any], worker: str | None = None) -> None:
+    """Append a registry snapshot line to this worker's trace file.
+
+    Called at worker exit so a finished run's sidecars carry final
+    counter/histogram state with no live process to query.
+    """
+    if not state.enabled or state.telemetry_dir is None:
+        return
+    _append_record(
+        {
+            "kind": "metrics",
+            "worker": worker or current_worker(),
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "ts": time.time(),
+            "metrics": snapshot,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# Readers / aggregation (the `campaign status --telemetry` backend)
+
+
+def fold_latest_snapshot(
+    latest: dict[tuple[str, Any], tuple[float, dict[str, Any]]],
+    record: dict[str, Any],
+    snapshot: dict[str, Any],
+) -> None:
+    """Keep only the newest registry snapshot per process.
+
+    The metrics registry is process-global and snapshots are
+    *cumulative*: an in-process fleet's workers (threads) all snapshot
+    the same registry, so summing their lines would multiply every
+    count by the worker count.  The newest snapshot per (host, pid)
+    supersedes all earlier ones; distinct processes then merge by
+    summation as usual.
+    """
+    key = (str(record.get("host", "")), record.get("pid"))
+    ts = record.get("ts")
+    ts = float(ts) if isinstance(ts, (int, float)) else 0.0
+    current = latest.get(key)
+    if current is None or ts >= current[0]:
+        latest[key] = (ts, snapshot)
+
+
+def read_trace_dir(telemetry_dir: str | os.PathLike) -> list[dict[str, Any]]:
+    """All records from every ``trace-*.jsonl`` sidecar, ts-ordered.
+
+    Corrupt lines (a worker killed mid-write) are skipped — the
+    append-only format makes partial data usable by construction.
+    """
+    telemetry_dir = os.fspath(telemetry_dir)
+    records: list[dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(telemetry_dir))
+    except OSError:
+        return records
+    for name in names:
+        if not (name.startswith("trace-") and name.endswith(".jsonl")):
+            continue
+        try:
+            with open(
+                os.path.join(telemetry_dir, name), encoding="utf-8"
+            ) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(record, dict):
+                        records.append(record)
+        except OSError:
+            continue
+    records.sort(key=lambda r: r.get("ts", 0.0))
+    return records
+
+
+def aggregate_stages(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Roll spans + metrics lines into the per-stage fleet summary.
+
+    Returns ``{"stages": {stage: {count, total_s, share}}, "metrics":
+    <merged snapshot>, "workers": [...], "wall_s": ...}``.  ``share`` is
+    the stage's fraction of summed span time — note nested spans (a
+    ``job`` span wrapping ``sample``/``decode``) each count their own
+    wall time, so shares answer "where did the time go" per stage, not
+    a partition of wall clock.
+    """
+    stages: dict[str, dict[str, Any]] = {}
+    latest: dict[tuple[str, Any], tuple[float, dict[str, Any]]] = {}
+    workers: set[str] = set()
+    t_min, t_max = None, None
+    for record in records:
+        worker = record.get("worker")
+        if worker:
+            workers.add(str(worker))
+        if record.get("kind") == "metrics":
+            snap = record.get("metrics")
+            if isinstance(snap, dict):
+                fold_latest_snapshot(latest, record, snap)
+            continue
+        if record.get("kind") != "span":
+            continue
+        stage = str(record.get("stage", "?"))
+        dur = float(record.get("dur_s", 0.0))
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            t_min = ts if t_min is None else min(t_min, ts)
+            t_max = ts + dur if t_max is None else max(t_max, ts + dur)
+        entry = stages.setdefault(
+            stage, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += dur
+        entry["max_s"] = max(entry["max_s"], dur)
+    total = sum(e["total_s"] for e in stages.values())
+    for entry in stages.values():
+        entry["share"] = entry["total_s"] / total if total > 0 else 0.0
+    return {
+        "stages": dict(sorted(stages.items())),
+        "metrics": merge_snapshots(snap for _, snap in latest.values()),
+        "workers": sorted(workers),
+        "wall_s": (t_max - t_min) if t_min is not None else 0.0,
+    }
+
+
+def chrome_trace(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Convert span records to Chrome ``trace_event`` JSON (``ph: X``).
+
+    Load the result in ``chrome://tracing`` / Perfetto: one row per
+    worker, one slice per span, timestamps in µs relative to the
+    earliest span so the view starts at t=0.
+    """
+    spans = [r for r in records if r.get("kind") == "span"]
+    t0 = min(
+        (r["ts"] for r in spans if isinstance(r.get("ts"), (int, float))),
+        default=0.0,
+    )
+    tids: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for record in spans:
+        worker = str(record.get("worker", "?"))
+        tid = tids.setdefault(worker, len(tids) + 1)
+        args = {
+            k: v
+            for k, v in record.items()
+            if k not in ("kind", "stage", "worker", "pid", "ts", "dur_s")
+        }
+        events.append(
+            {
+                "name": str(record.get("stage", "?")),
+                "cat": "repro",
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": (float(record.get("ts", t0)) - t0) * 1e6,
+                "dur": float(record.get("dur_s", 0.0)) * 1e6,
+                "args": args,
+            }
+        )
+    for worker, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": worker},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    telemetry_dir: str | os.PathLike, out_path: str | os.PathLike
+) -> int:
+    """Merge a telemetry dir's sidecars into one Chrome trace file.
+
+    Returns the number of span events written.
+    """
+    records = read_trace_dir(telemetry_dir)
+    doc = chrome_trace(records)
+    out_path = os.fspath(out_path)
+    parent = os.path.dirname(out_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")

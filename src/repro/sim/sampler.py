@@ -21,8 +21,12 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from .. import obs
 from .bitbatch import BitSampleBatch, SampleBatch, scatter_fires, xor_accumulate_csr
 from .dem import DetectorErrorModel
+
+_SAMPLE_SHOTS = obs.counter("sampler.shots")
+_SAMPLE_FIRES = obs.counter("sampler.fires")
 
 __all__ = ["DemSampler", "SampleBatch", "BitSampleBatch"]
 
@@ -73,6 +77,8 @@ class DemSampler:
         """Sample a batch in packed form — the hot path."""
         rng = rng or np.random.default_rng()
         shot_idx, mech_idx = self._sample_fires(shots, rng)
+        _SAMPLE_SHOTS.add(shots)
+        _SAMPLE_FIRES.add(len(shot_idx))
         fires = scatter_fires(shot_idx, mech_idx, self.dem.num_errors, shots)
         detectors = xor_accumulate_csr(
             self.h_rows.indptr, self.h_rows.indices, fires, self.dem.num_detectors

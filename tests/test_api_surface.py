@@ -93,7 +93,15 @@ class TestSurface:
 
     def test_session_surface(self):
         assert params(api.Session.__init__) == ["self", "store", "config", "cache"]
-        for method in ("reload", "evaluate", "sweep", "serve", "query", "compact"):
+        for method in (
+            "reload",
+            "evaluate",
+            "sweep",
+            "serve",
+            "query",
+            "compact",
+            "telemetry",
+        ):
             assert callable(getattr(api.Session, method))
 
     def test_execution_config_fields(self):
@@ -133,6 +141,16 @@ class TestSessionBehavior:
     def test_in_memory_session_cannot_serve(self):
         with pytest.raises(ValueError):
             api.Session().serve(api.smoke_spec(), n_workers=1)
+
+    def test_in_memory_session_has_no_telemetry(self):
+        with pytest.raises(ValueError):
+            api.Session().telemetry()
+
+    def test_on_disk_session_telemetry_shape(self, tmp_path):
+        sess = api.Session(store=tmp_path / "s")
+        summary = sess.telemetry()  # empty sidecar dir is a valid answer
+        assert set(summary) >= {"dir", "stages", "metrics", "heartbeats"}
+        assert summary["stages"] == {}
 
     def test_evaluate_single_basis(self):
         ler = api.evaluate("surface_d3", "nz", p=3e-3, shots=256, basis="z")

@@ -11,11 +11,13 @@ channel rate, bias eta, readout flip, idle strength) must change
 """
 
 import dataclasses
+import os
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.experiments.campaign import CampaignJob
+from repro.experiments.store import ResultStore
 from repro.noise import (
     BiasedPauliChannel,
     DepolarizingChannel,
@@ -167,3 +169,58 @@ class TestNoiseTokens:
         assert noise_display("biased:10") == "biased:10"
         inline = NoiseSpec.biased(1e-3, 10.0).to_payload()
         assert noise_display(inline).startswith("inline:")
+
+
+# -- telemetry meta envelope hygiene -----------------------------------------
+#
+# The PR-8 observability layer rides the record ``meta`` envelope
+# (elapsed_s, worker identity, ...).  The contract that keeps it safe:
+# *no* meta content — whatever keys future instrumentation invents —
+# may reach the job key or the store's content digest.  Property, not
+# list: an arbitrary JSON-ish meta dict must be digest-invisible.
+
+meta_values = st.one_of(
+    st.integers(-(10**6), 10**6),
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+)
+meta_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=16), meta_values, max_size=6
+)
+
+
+class TestMetaEnvelopeHygiene:
+    @settings(deadline=None, max_examples=50)
+    @given(spec=specs, meta=meta_dicts)
+    def test_meta_never_reaches_key_or_digest(self, spec, meta):
+        job = _job_with(spec)
+        bare, carrying = ResultStore(None), ResultStore(None)
+        bare.put(job.key(), job.to_payload(), {"failures": 1})
+        carrying.put(
+            job.key(), job.to_payload(), {"failures": 1}, meta=meta
+        )
+        assert job.key() == _job_with(spec).key()  # meta can't perturb keys
+        assert bare.content_digest() == carrying.content_digest()
+
+    def test_compact_strips_telemetry_meta_from_disk(self, tmp_path):
+        job = _job_with(NoiseSpec.biased(1e-3, eta=10.0))
+        store = ResultStore(tmp_path / "s")
+        store.put(
+            job.key(),
+            job.to_payload(),
+            {"failures": 0},
+            meta={"elapsed_s": 1.23, "worker": "w0", "spans": 4},
+        )
+        store.compact()
+        on_disk = b"".join(
+            (tmp_path / "s" / name).read_bytes()
+            for name in sorted(os.listdir(tmp_path / "s"))
+            if name.endswith(".jsonl")
+        )
+        assert b"elapsed_s" not in on_disk
+        assert b'"meta"' not in on_disk
+        reloaded = ResultStore(tmp_path / "s")
+        assert reloaded.get(job.key())["result"] == {"failures": 0}
+        assert reloaded.content_digest() == store.content_digest()

@@ -120,6 +120,58 @@ class TestCampaignCli:
         assert len(rows) == 4
         assert {r["estimator"] for r in rows} == {"direct", "rare-event"}
 
+    def test_telemetry_commands_end_to_end(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        store = str(tmp_path / "store")
+        with obs.enabled_to(True):
+            assert cli_main(["campaign", "run", "--smoke", "--store", store]) == 0
+        capsys.readouterr()
+
+        assert (
+            cli_main(["campaign", "status", "--store", store, "--telemetry"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "telemetry sidecars:" in out
+        assert "job" in out and "share" in out
+        assert "store: 4 appends" in out
+
+        assert cli_main(["campaign", "top", "--store", store]) == 0
+        out = capsys.readouterr().out
+        # run_campaign is not a fleet: no heartbeats, just the hint.
+        assert "heartbeats" in out
+
+        trace_path = tmp_path / "trace.json"
+        assert (
+            cli_main(
+                [
+                    "campaign",
+                    "trace",
+                    "--store",
+                    store,
+                    "--output",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(trace_path.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_trace_of_uninstrumented_store_fails_unless_allowed(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        assert cli_main(["campaign", "run", "--smoke", "--store", store]) == 0
+        capsys.readouterr()
+        out_path = str(tmp_path / "trace.json")
+        args = ["campaign", "trace", "--store", store, "--output", out_path]
+        assert cli_main(args) == 1
+        assert cli_main(args + ["--allow-empty"]) == 0
+
     def test_biased_noise_campaign_end_to_end_with_byte_identical_resume(
         self, tmp_path, capsys
     ):
