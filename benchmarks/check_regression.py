@@ -34,13 +34,26 @@ def load_min_times(path: Path) -> dict[str, float]:
 
     Keys starting with ``_`` (e.g. the baseline's ``_meta`` provenance
     block) are metadata, not benchmarks.
+
+    Besides each benchmark's min wall time, any numeric ``extra_info``
+    entry whose key ends in ``_s`` is ingested as a pseudo-benchmark
+    named ``<fullname>::<key>`` — how the streaming benches put their
+    per-round latency quantiles (p50/p99) under the same regression
+    rule as plain timings.
     """
     data = json.loads(path.read_text())
     if "benchmarks" in data:  # raw pytest-benchmark output
-        return {
-            bench["fullname"]: float(bench["stats"]["min"])
-            for bench in data["benchmarks"]
-        }
+        times: dict[str, float] = {}
+        for bench in data["benchmarks"]:
+            times[bench["fullname"]] = float(bench["stats"]["min"])
+            for key, value in (bench.get("extra_info") or {}).items():
+                if (
+                    key.endswith("_s")
+                    and isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                ):
+                    times[f"{bench['fullname']}::{key}"] = float(value)
+        return times
     return {
         name: float(seconds)
         for name, seconds in data.items()

@@ -1,0 +1,81 @@
+"""Streaming sliding-window decode latency on surface_d5.
+
+The offline benches ask "seconds per 100k shots"; these ask the serving
+question — per-*round* latency when syndromes arrive incrementally and
+the :class:`repro.streaming.window.WindowedDecoder` commits as the
+window slides.  Wall time of the whole stream rides the usual min-time
+gate; the per-round p50/p99 latency quantiles are stashed in
+``benchmark.extra_info`` (keys ending ``_s``), which
+``check_regression.py`` ingests as ``<fullname>::<key>``
+pseudo-benchmarks under the same >30% regression rule.
+
+Correctness is asserted out-of-band: one verified run
+(``verify_offline=True``) pins the committed corrections bit-identical
+to offline ``decode_batch_packed`` before the timed runs (which switch
+verification off so the gate times the streaming leg alone).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import nz_schedule
+from repro.codes import load_benchmark_code
+from repro.decoders.metrics import dem_for
+from repro.noise import NoiseModel
+from repro.streaming import WindowConfig, stream_decode
+
+SHOTS = 4096
+
+
+@pytest.fixture(scope="module")
+def surface_dem():
+    code = load_benchmark_code("surface_d5")
+    return dem_for(code, nz_schedule(code), NoiseModel(p=1e-3), basis="z")
+
+
+def _bench_stream(benchmark, dem, window, quantiles=("p50", "p99")):
+    verified = stream_decode(
+        dem,
+        SHOTS,
+        window=window,
+        rng=np.random.default_rng(0),
+        verify_offline=True,
+    )
+    assert verified.matches_offline is True
+
+    reports = []
+
+    def _run():
+        report = stream_decode(
+            dem,
+            SHOTS,
+            window=window,
+            rng=np.random.default_rng(0),
+            verify_offline=False,
+        )
+        reports.append(report)
+        return report
+
+    benchmark.pedantic(_run, rounds=3, iterations=1)
+    assert all(r.failures == verified.failures for r in reports)
+    # Best-of-rounds quantiles, same spirit as the min wall time the
+    # gate already compares.
+    for q in quantiles:
+        key = f"{q}_round_s"
+        benchmark.extra_info[key] = min(getattr(r, key) for r in reports)
+
+
+@pytest.mark.benchmark(group="stream-surface_d5")
+def test_stream_w3c1_surface_d5(benchmark, surface_dem):
+    """The headline serving schedule: window 3, commit every round —
+    the small-batch regime where per-commit decode latency dominates."""
+    _bench_stream(benchmark, surface_dem, WindowConfig(3, 1))
+
+
+@pytest.mark.benchmark(group="stream-surface_d5")
+def test_stream_w4c4_surface_d5(benchmark, surface_dem):
+    """Chunky commits: window 4, commit 4 at once — fewer, larger
+    decode calls; the throughput end of the window/commit trade.  Most
+    rounds here are a bare row copy (microseconds), so only the
+    commit-dominated p99 is gated — a median of noise would flake."""
+    _bench_stream(benchmark, surface_dem, WindowConfig(4, 4), quantiles=("p99",))

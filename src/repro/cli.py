@@ -16,6 +16,7 @@ Run declarative sweep campaigns against a persistent result store::
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
 
@@ -26,6 +27,28 @@ from .circuits import coloration_schedule
 from .codes import BENCHMARK_CODES, load_benchmark_code
 from .core import PropHunt, PropHuntConfig
 from .decoders import estimate_logical_error_rate
+
+
+def broken_pipe_safe(fn):
+    """Treat a downstream reader going away as success, not a traceback.
+
+    Commands that print tables (``campaign top``, ``status``,
+    ``export``, ``stream``) are routinely piped into ``head`` or a
+    pager; when the consumer closes the pipe mid-table the command has
+    done its job.  Swallow the ``BrokenPipeError`` and detach stdout so
+    the interpreter's exit flush cannot raise a second time.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(args) -> int:
+        try:
+            return fn(args)
+        except BrokenPipeError:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+            return 0
+
+    return wrapper
 
 
 def cmd_codes(_args) -> int:
@@ -266,6 +289,7 @@ def _print_service_status(store) -> None:
         print(f"leases: {live} live, {stale} stale")
 
 
+@broken_pipe_safe
 def cmd_campaign_top(args) -> int:
     import time
 
@@ -298,9 +322,10 @@ def cmd_campaign_trace(args) -> int:
 
 
 def cmd_campaign_serve(args) -> int:
-    from .experiments.service import serve_campaign
+    from .experiments.service import DEFAULT_SKEW_GRACE, serve_campaign
 
     spec = _load_campaign_spec(args)
+    grace = args.skew_grace if args.skew_grace is not None else DEFAULT_SKEW_GRACE
     try:
         report = serve_campaign(
             spec,
@@ -311,6 +336,7 @@ def cmd_campaign_serve(args) -> int:
             wait=not args.no_wait,
             timeout=args.timeout,
             progress=print if args.verbose else None,
+            skew_grace_s=grace,
         )
     except TimeoutError as exc:
         raise SystemExit(f"serve timed out: {exc}")
@@ -330,8 +356,9 @@ def cmd_campaign_serve(args) -> int:
 
 
 def cmd_campaign_worker(args) -> int:
-    from .experiments.service import worker_loop
+    from .experiments.service import DEFAULT_SKEW_GRACE, worker_loop
 
+    grace = args.skew_grace if args.skew_grace is not None else DEFAULT_SKEW_GRACE
     report = worker_loop(
         args.store,
         worker_id=args.worker_id,
@@ -342,6 +369,7 @@ def cmd_campaign_worker(args) -> int:
         timeout=args.timeout,
         progress=print,
         chaos_exit_after=args.chaos_exit_after,
+        skew_grace_s=grace,
     )
     print(
         f"worker {report.worker_id}: {len(report.executed)} executed, "
@@ -381,6 +409,7 @@ def _print_telemetry_status(store_path) -> None:
         print(line)
 
 
+@broken_pipe_safe
 def cmd_campaign_status(args) -> int:
     from .experiments.store import ResultStore
 
@@ -413,6 +442,7 @@ def cmd_campaign_status(args) -> int:
     return 0
 
 
+@broken_pipe_safe
 def cmd_campaign_export(args) -> int:
     import json as _json
 
@@ -437,15 +467,49 @@ def cmd_campaign_export(args) -> int:
             fh.write(text + "\n")
         print(f"{len(rows)} rows written to {args.output}")
     else:
-        try:
-            print(text)
-        except BrokenPipeError:
-            # Downstream consumer (head, a closed pager) went away:
-            # that is a successful export, not an error.  Detach stdout
-            # so the interpreter's exit flush cannot raise again.
-            devnull = os.open(os.devnull, os.O_WRONLY)
-            os.dup2(devnull, sys.stdout.fileno())
+        print(text)
     return 0
+
+
+@broken_pipe_safe
+def cmd_stream(args) -> int:
+    """Paced sliding-window decode of one code with an SLO report."""
+    from .decoders.metrics import dem_for
+    from .noise.spec import resolve_noise
+    from .streaming import WindowConfig, stream_decode
+
+    try:
+        noise = resolve_noise(args.noise, args.p)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SystemExit(f"bad --noise spec: {_bad_spec_detail(exc)}")
+    try:
+        window = WindowConfig(
+            window_rounds=args.window, commit_rounds=args.commit
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad window/commit schedule: {exc}")
+    code = load_benchmark_code(args.code)
+    schedule = coloration_schedule(code)
+    dem = dem_for(
+        code, schedule, noise, basis=args.basis, rounds=args.rounds
+    )
+    print(f"code            : {code.label()} ({args.basis} basis)")
+    report = stream_decode(
+        dem,
+        shots=args.shots,
+        basis=args.basis,
+        decoder=args.decoder,
+        rng=np.random.default_rng(args.seed),
+        window=window,
+        rounds_per_sec=args.rate,
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
+        verify_offline=not args.no_verify,
+    )
+    for line in report.slo_lines():
+        print(line)
+    # A stream whose committed corrections drifted from the offline
+    # decode is broken, whatever its latency looks like.
+    return 1 if report.matches_offline is False else 0
 
 
 def cmd_optimize(args) -> int:
@@ -661,6 +725,14 @@ def build_parser() -> argparse.ArgumentParser:
     cserve.add_argument(
         "--verbose", action="store_true", help="per-job progress lines"
     )
+    cserve.add_argument(
+        "--skew-grace",
+        type=float,
+        default=None,
+        help="cross-host clock-skew allowance (s) before an expired "
+        "lease is taken over (default: a few seconds; see "
+        "repro.experiments.service.DEFAULT_SKEW_GRACE)",
+    )
     cserve.set_defaults(fn=cmd_campaign_serve)
 
     cwork = csub.add_parser(
@@ -698,6 +770,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard-exit (no lease release) after N jobs — the "
         "crash-recovery drill used by the service smoke test",
     )
+    cwork.add_argument(
+        "--skew-grace",
+        type=float,
+        default=None,
+        help="cross-host clock-skew allowance (s) before an expired "
+        "lease is taken over (default: a few seconds; see "
+        "repro.experiments.service.DEFAULT_SKEW_GRACE)",
+    )
     cwork.set_defaults(fn=cmd_campaign_worker)
 
     ccomp = csub.add_parser(
@@ -709,6 +789,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", required=True, help="result-store directory to compact"
     )
     ccomp.set_defaults(fn=cmd_campaign_compact)
+
+    strm = sub.add_parser(
+        "stream",
+        help="real-time sliding-window decode with a per-round latency "
+        "SLO report",
+    )
+    strm.add_argument("code")
+    strm.add_argument("--p", type=float, default=1e-3)
+    strm.add_argument(
+        "--shots", type=int, default=1024, help="shots streamed in lockstep"
+    )
+    strm.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="syndrome-measurement rounds (default: the code distance)",
+    )
+    strm.add_argument("--basis", choices=("z", "x"), default="z")
+    strm.add_argument(
+        "--decoder", default="auto", help="decoder kind (auto/matching/bposd)"
+    )
+    strm.add_argument(
+        "--window",
+        type=int,
+        default=3,
+        help="rounds of context held before the oldest are committed",
+    )
+    strm.add_argument(
+        "--commit",
+        type=int,
+        default=1,
+        help="rounds committed each time the window fills",
+    )
+    strm.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="arrival clock in rounds/sec (0: free-run, rounds arrive "
+        "as fast as they are processed)",
+    )
+    strm.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-round latency deadline in ms (default: the round "
+        "period when --rate is set, else none)",
+    )
+    strm.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the offline bit-identity cross-check (latency only)",
+    )
+    strm.add_argument("--seed", type=int, default=0)
+    strm.add_argument(
+        "--noise",
+        default=None,
+        help="noise scenario token (same grammar as 'evaluate')",
+    )
+    strm.set_defaults(fn=cmd_stream)
 
     opt = sub.add_parser("optimize", help="run PropHunt on a benchmark code")
     opt.add_argument("code")

@@ -78,6 +78,12 @@ _LEASE_RELEASES = obs.counter("lease.releases")
 
 DEFAULT_TTL = 60.0
 DEFAULT_POLL = 0.5
+# Clock-skew allowance for cross-host lease expiry checks:
+# ``expires_at`` stamps come from *another* worker's wall clock, so a
+# lease is only takeover-eligible this many seconds past its nominal
+# expiry.  A few seconds covers NTP-disciplined fleets; raise it for
+# hosts with free-running clocks, or set 0 for single-host tests.
+DEFAULT_SKEW_GRACE = 3.0
 
 # Job fields that determine the compiled artifacts (the CompileCache
 # `_dem_key` plus the decoder choice).  Jobs agreeing on all of these
@@ -217,21 +223,42 @@ def read_lease(path: str) -> dict[str, Any] | None:
     return payload if isinstance(payload, dict) else {}
 
 
-def lease_expired(lease: dict[str, Any], now: float | None = None) -> bool:
+def lease_expired(
+    lease: dict[str, Any],
+    now: float | None = None,
+    skew_grace_s: float = DEFAULT_SKEW_GRACE,
+) -> bool:
+    """Whether a lease's TTL has lapsed, allowing for clock skew.
+
+    ``expires_at`` was written with *another host's* ``time.time()`` —
+    on a shared filesystem the claimer and the prospective taker need
+    not agree on the wall clock, and a taker whose clock runs fast
+    would otherwise steal a live worker's group.  ``skew_grace_s``
+    pads the expiry by the skew budget (default
+    :data:`DEFAULT_SKEW_GRACE`); pass 0 for the raw comparison.
+    """
     expires = lease.get("expires_at")
     if not isinstance(expires, (int, float)):
         return True
-    return (now if now is not None else time.time()) >= expires
+    grace = max(0.0, float(skew_grace_s))
+    return (now if now is not None else time.time()) >= expires + grace
 
 
-def claim_lease(path: str, worker_id: str, ttl: float) -> bool:
+def claim_lease(
+    path: str,
+    worker_id: str,
+    ttl: float,
+    skew_grace_s: float = DEFAULT_SKEW_GRACE,
+) -> bool:
     """Try to claim (or take over an expired) lease; True if we own it.
 
     The fresh-claim path is atomic (``O_CREAT | O_EXCL``).  The
     takeover path — rewriting an *expired* lease via temp file +
     rename — can race another taker; both then believe they own the
     group, which the execution layer tolerates by design (idempotent,
-    content-addressed jobs).
+    content-addressed jobs).  Takeover eligibility honors
+    ``skew_grace_s`` (see :func:`lease_expired`) so cross-host clock
+    skew cannot trigger a premature takeover of a live lease.
     """
     os.makedirs(os.path.dirname(path), exist_ok=True)
     body = (canonical_json(_lease_payload(worker_id, ttl)) + "\n").encode()
@@ -239,7 +266,7 @@ def claim_lease(path: str, worker_id: str, ttl: float) -> bool:
         fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
     except FileExistsError:
         lease = read_lease(path)
-        if lease is None or not lease_expired(lease):
+        if lease is None or not lease_expired(lease, skew_grace_s=skew_grace_s):
             return False
         tmp = f"{path}.{worker_id}.tmp"
         try:
@@ -316,6 +343,7 @@ def worker_loop(
     config: ExecutionConfig | None = None,
     progress: Callable[[str], None] | None = None,
     chaos_exit_after: int | None = None,
+    skew_grace_s: float = DEFAULT_SKEW_GRACE,
 ) -> WorkerReport:
     """Claim and execute queued jobs until the campaign is complete.
 
@@ -333,7 +361,9 @@ def worker_loop(
     (no queue yet, or everything leased to live workers).
     ``chaos_exit_after=N`` hard-kills the process (``os._exit``) after
     N jobs, leaving the held lease dangling — the crash-recovery drill
-    used by the service smoke test.
+    used by the service smoke test.  ``skew_grace_s`` is the cross-host
+    clock-skew allowance applied before a dangling lease is taken over
+    (see :func:`lease_expired`).
     """
     store_path = os.fspath(store_path)
     worker_id = worker_id or default_worker_id()
@@ -371,6 +401,7 @@ def worker_loop(
                 config,
                 progress,
                 chaos_exit_after,
+                skew_grace_s,
                 report,
                 beat,
             )
@@ -394,6 +425,7 @@ def _worker_loop(
     config: ExecutionConfig | None,
     progress: Callable[[str], None] | None,
     chaos_exit_after: int | None,
+    skew_grace_s: float,
     report: WorkerReport,
     beat: Callable[..., None],
 ) -> WorkerReport:
@@ -451,7 +483,9 @@ def _worker_loop(
             lease_path = os.path.join(lease_dir(store_path), f"{aff}.lease")
             existing = read_lease(lease_path)
             with obs.span("lease", group=aff, action="claim") as lease_sp:
-                claimed = claim_lease(lease_path, worker_id, ttl)
+                claimed = claim_lease(
+                    lease_path, worker_id, ttl, skew_grace_s=skew_grace_s
+                )
                 lease_sp.set(claimed=claimed)
             if not claimed:
                 continue
@@ -544,6 +578,7 @@ def serve_campaign(
     labels: dict[str, str] | None = None,
     config: ExecutionConfig | None = None,
     progress: Callable[[str], None] | None = None,
+    skew_grace_s: float = DEFAULT_SKEW_GRACE,
 ) -> ServeReport:
     """Publish a campaign's queue; optionally run an in-process fleet.
 
@@ -588,6 +623,7 @@ def serve_campaign(
                 timeout=timeout,
                 config=config,
                 progress=progress,
+                skew_grace_s=skew_grace_s,
             )
 
         thread = threading.Thread(target=run, name=f"campaign-worker-{i}")
@@ -623,6 +659,7 @@ def serve_campaign(
 
 
 __all__ = [
+    "DEFAULT_SKEW_GRACE",
     "ServeReport",
     "WorkerReport",
     "affinity_key",

@@ -369,18 +369,29 @@ def run_shot_chunks(
             # DemSampler is read-only after construction and each chunk
             # samples from its own generator, so one prefetch thread can
             # sample chunk k+1 while the main thread decodes chunk k.
-            with ThreadPoolExecutor(
+            # On early exit (max_failures tripped, or decode raised) the
+            # presampled chunk is discarded — shut down without waiting
+            # for it, or the caller would block on a full chunk sample
+            # nobody will read (tests/test_shotrunner.py pins this).
+            prefetch = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-prefetch"
-            ) as prefetch:
+            )
+            pending = None
+            try:
                 pending = prefetch.submit(_sample_chunk, sampler, jobs[0])
                 for k, job in enumerate(jobs):
                     batch = pending.result()
+                    pending = None
                     if k + 1 < len(jobs):
                         pending = prefetch.submit(
                             _sample_chunk, sampler, jobs[k + 1]
                         )
                     if _account(_decode_chunk(dec, job, batch, dense_reference)):
                         break
+            finally:
+                if pending is not None:
+                    pending.cancel()
+                prefetch.shutdown(wait=False, cancel_futures=True)
         else:
             for job in jobs:
                 if _account(_run_chunk_with(sampler, dec, job, dense_reference)):

@@ -130,10 +130,15 @@ class Histogram:
         self.max = 0.0
 
     def to_dict(self) -> dict[str, Any]:
+        # min is None (JSON null) when unknown: an empty histogram, or a
+        # merge that never saw a usable min.  Emitting the internal
+        # ``math.inf`` sentinel would serialize as the non-standard
+        # ``Infinity`` token, which strict JSON parsers reject.
+        has_min = self.count > 0 and math.isfinite(self.min)
         return {
             "count": self.count,
             "sum": self.total,
-            "min": self.min if self.count else 0.0,
+            "min": self.min if has_min else None,
             "max": self.max,
             "p50": self.percentile(0.50),
             "p99": self.percentile(0.99),
@@ -233,10 +238,23 @@ def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
             bins = data.get("bins") or []
             for i, c in enumerate(bins[: _EDGE_COUNT + 1]):
                 hist.counts[i] += int(c)
-            hist.count += int(data.get("count", 0))
+            snap_count = int(data.get("count", 0))
+            hist.count += snap_count
             hist.total += float(data.get("sum", 0.0))
-            if hist.count:
-                hist.min = min(hist.min, float(data.get("min", math.inf)))
+            if snap_count:
+                # Fold min/max only from snapshots that actually recorded
+                # samples — an *empty* snapshot carries no extremes, and
+                # folding its placeholder min would drag a merged
+                # nonempty histogram's min to 0.  Tolerate both the
+                # ``null`` min of current writers and the 0.0/inf of
+                # older ones.
+                snap_min = data.get("min")
+                if (
+                    isinstance(snap_min, (int, float))
+                    and not isinstance(snap_min, bool)
+                    and math.isfinite(snap_min)
+                ):
+                    hist.min = min(hist.min, float(snap_min))
                 hist.max = max(hist.max, float(data.get("max", 0.0)))
     return {
         "counters": dict(sorted(counters.items())),

@@ -1,0 +1,34 @@
+"""Real-time sliding-window decode with per-round latency SLOs.
+
+The offline stack asks "how fast can we decode N shots?"; this package
+asks the serving question — "can the decoder keep up with the syndrome
+clock?".  Syndrome rounds arrive incrementally
+(:class:`~repro.streaming.rounds.RoundStream` slices a sampled packed
+batch into per-round views), a
+:class:`~repro.streaming.window.WindowedDecoder` commits corrections
+for rounds that have left its window, and
+:func:`~repro.streaming.runner.stream_decode` paces the whole thing
+against a target round rate and reports per-round latency p50/p99/max,
+sustained rounds/sec, deadline misses, and backlog.
+
+Committed corrections are bit-identical to offline
+``decode_batch_packed`` on the same shots for every decoder family —
+the pinned invariant that makes the latency numbers trustworthy.
+
+CLI: ``python -m repro.cli stream <code> ...``.
+"""
+
+from .rounds import RoundLayout, RoundStream, SyndromeRound
+from .runner import StreamReport, stream_decode
+from .window import CommitResult, WindowConfig, WindowedDecoder
+
+__all__ = [
+    "CommitResult",
+    "RoundLayout",
+    "RoundStream",
+    "StreamReport",
+    "SyndromeRound",
+    "WindowConfig",
+    "WindowedDecoder",
+    "stream_decode",
+]

@@ -1,0 +1,190 @@
+"""Round-sliced views of packed syndrome batches.
+
+The offline pipeline hands a decoder the *complete* detector history of
+a batch at once.  A real-time decoder never sees that: syndrome bits
+arrive one measurement round at a time, and the serving question is
+whether decoding keeps up with the round clock.  This module supplies
+the arrival side of that story:
+
+:class:`RoundLayout`
+    Which contiguous detector rows belong to which measurement round.
+    Derived from the DEM's ``detector_labels`` (the circuit builder
+    labels every detector ``(round, kind, stab)`` and appends them in
+    round order, final data-parity detectors last), with an even-split
+    fallback for label-less DEMs so synthetic/property-test models
+    stream too.
+
+:class:`RoundStream`
+    Iterates a sampled :class:`~repro.sim.bitbatch.BitSampleBatch` as
+    per-round :class:`SyndromeRound` slices — zero-copy row views of
+    the packed detector words, exactly what a hardware front-end would
+    deliver (all shots advance through rounds in lockstep, as on a real
+    device running a batch of experiments in parallel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..circuits.builder import FINAL_ROUND
+from ..sim.bitbatch import BitSampleBatch
+from ..sim.dem import DetectorErrorModel
+
+
+@dataclass(frozen=True)
+class SyndromeRound:
+    """One round's worth of packed detector outcomes for a shot batch.
+
+    ``detectors`` is ``(round_detectors, ceil(shots/64))`` uint64 — the
+    contiguous row slice of the batch's packed detector words belonging
+    to this round, shots along the bit axis as everywhere else.
+    """
+
+    index: int
+    start: int  # first detector row of this round in the full DEM
+    detectors: np.ndarray
+    shots: int
+
+    @property
+    def num_detectors(self) -> int:
+        return self.detectors.shape[0]
+
+
+@dataclass(frozen=True)
+class RoundLayout:
+    """Contiguous detector-row slices per measurement round.
+
+    ``slices[r] = (start, stop)`` covers ``[0, num_detectors)`` without
+    gaps or overlap; rounds arrive (and must be pushed) in index order.
+    """
+
+    slices: tuple[tuple[int, int], ...]
+    num_detectors: int
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.slices)
+
+    def round_slice(self, index: int) -> tuple[int, int]:
+        return self.slices[index]
+
+    @classmethod
+    def from_dem(cls, dem: DetectorErrorModel) -> "RoundLayout":
+        """Group the DEM's detectors into rounds by their labels.
+
+        Builder-produced DEMs label detectors ``(round, kind, stab)``
+        with rounds appended in increasing order and the final
+        data-parity group (round ``FINAL_ROUND``) last — so rounds are
+        contiguous row ranges.  Label-less or irregular DEMs (random
+        property-test models, hand-built circuits) fall back to
+        treating every detector as its own round, which is the finest
+        arrival granularity and always valid.
+        """
+        labels = dem.detector_labels
+        n = dem.num_detectors
+        if not labels or len(labels) != n:
+            return cls.per_detector(n)
+        slices: list[tuple[int, int]] = []
+        start = 0
+        current = _label_round(labels[0])
+        if current is None:
+            return cls.per_detector(n)
+        seen: set[object] = set()
+        for i in range(1, n):
+            r = _label_round(labels[i])
+            if r is None:
+                return cls.per_detector(n)
+            if r != current:
+                if r in seen or current in seen:
+                    # Labels revisit a round: not contiguous, fall back.
+                    return cls.per_detector(n)
+                seen.add(current)
+                slices.append((start, i))
+                start = i
+                current = r
+        slices.append((start, n))
+        return cls(slices=tuple(slices), num_detectors=n)
+
+    @classmethod
+    def per_detector(cls, num_detectors: int) -> "RoundLayout":
+        """One detector per round — the label-less fallback."""
+        return cls(
+            slices=tuple((i, i + 1) for i in range(num_detectors)),
+            num_detectors=num_detectors,
+        )
+
+    @classmethod
+    def even(cls, num_detectors: int, num_rounds: int) -> "RoundLayout":
+        """Split ``num_detectors`` rows into ``num_rounds`` contiguous
+        near-equal slices (empty rounds allowed when rows run short)."""
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        bounds = np.linspace(0, num_detectors, num_rounds + 1).astype(int)
+        return cls(
+            slices=tuple(
+                (int(bounds[i]), int(bounds[i + 1])) for i in range(num_rounds)
+            ),
+            num_detectors=num_detectors,
+        )
+
+
+def _label_round(label: object) -> object | None:
+    """The round component of a detector label, or None if unlabeled.
+
+    Builder labels are ``(round, kind, stab)`` tuples with an integer
+    round (``FINAL_ROUND`` = -1 for the closing data-parity group).
+    """
+    if isinstance(label, tuple) and label and isinstance(label[0], int):
+        return label[0]
+    return None
+
+
+class RoundStream:
+    """Per-round iteration over one sampled packed batch.
+
+    The stream yields :class:`SyndromeRound` views in round order —
+    the arrival order of a device front-end.  Pacing (arrival clocks,
+    backpressure) lives in :mod:`repro.streaming.runner`; this class is
+    purely the data slicing.
+    """
+
+    def __init__(self, batch: BitSampleBatch, layout: RoundLayout):
+        if batch.num_detectors != layout.num_detectors:
+            raise ValueError(
+                f"batch has {batch.num_detectors} detectors but the layout "
+                f"covers {layout.num_detectors}"
+            )
+        self.batch = batch
+        self.layout = layout
+
+    @property
+    def shots(self) -> int:
+        return self.batch.shots
+
+    @property
+    def num_rounds(self) -> int:
+        return self.layout.num_rounds
+
+    def round(self, index: int) -> SyndromeRound:
+        start, stop = self.layout.round_slice(index)
+        return SyndromeRound(
+            index=index,
+            start=start,
+            detectors=self.batch.detectors[start:stop],
+            shots=self.batch.shots,
+        )
+
+    def __iter__(self) -> Iterator[SyndromeRound]:
+        for index in range(self.layout.num_rounds):
+            yield self.round(index)
+
+
+__all__ = [
+    "FINAL_ROUND",
+    "RoundLayout",
+    "RoundStream",
+    "SyndromeRound",
+]

@@ -137,7 +137,7 @@ def lp_dem():
     )
 
 
-@pytest.mark.parametrize("shots", [63, 64, 65, 2000])
+@pytest.mark.parametrize("shots", [1, 63, 64, 65, 2000])
 def test_matching_packed_equals_dense_surface(surface_dem, shots):
     dec = MatchingDecoder(
         surface_dem, detector_subset_for_basis(surface_dem, "z")
@@ -145,7 +145,7 @@ def test_matching_packed_equals_dense_surface(surface_dem, shots):
     assert_packed_matches_dense(surface_dem, dec, shots, np.random.default_rng(shots))
 
 
-@pytest.mark.parametrize("shots", [63, 64, 65, 500])
+@pytest.mark.parametrize("shots", [1, 63, 64, 65, 500])
 def test_bposd_packed_equals_dense_lp39(lp_dem, shots):
     dec = BpOsdDecoder(lp_dem)
     assert_packed_matches_dense(lp_dem, dec, shots, np.random.default_rng(shots))

@@ -153,6 +153,58 @@ class TestMetrics:
         assert merged["counters"] == {}
         assert merged["histograms"] == {}
 
+    # -- empty-histogram min: snapshots must stay strict JSON ---------------
+    #
+    # An empty histogram's running min is +inf; json.dumps emits that as
+    # the non-standard token ``Infinity``, which strict parsers (and the
+    # telemetry sidecar readers) reject.  Empty min snapshots as null.
+
+    @staticmethod
+    def _strict_loads(text: str):
+        def _reject(token):
+            raise AssertionError(f"non-standard JSON token {token!r}")
+
+        return json.loads(text, parse_constant=_reject)
+
+    def test_empty_histogram_snapshot_is_strict_json(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")  # registered, never recorded
+        snap = self._strict_loads(json.dumps(reg.snapshot()))
+        assert snap["histograms"]["h"]["count"] == 0
+        assert snap["histograms"]["h"]["min"] is None
+
+    def test_merge_with_empty_snapshot_keeps_real_min(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        with obs.enabled_to(True):
+            reg_a.histogram("t").record(1e-3)
+        reg_b.histogram("t")  # empty on this registry
+        for order in ([reg_a, reg_b], [reg_b, reg_a]):
+            merged = merge_snapshots([r.snapshot() for r in order])
+            hist = merged["histograms"]["t"]
+            assert hist["count"] == 1
+            assert hist["min"] == pytest.approx(1e-3)
+
+    def test_merge_of_empty_snapshots_round_trips(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        merged = merge_snapshots([reg.snapshot(), reg.snapshot()])
+        snap = self._strict_loads(json.dumps(merged))
+        assert snap["histograms"]["h"]["min"] is None
+
+    def test_merge_tolerates_minless_nonempty_snapshot(self):
+        # Older sidecar files carry count > 0 histograms without a min
+        # (or with min: null); merging them must not leak inf or crash.
+        legacy = {"histograms": {"t": {"count": 2, "sum": 3.0, "max": 2.0}}}
+        nulled = {
+            "histograms": {"t": {"count": 1, "sum": 0.5, "min": None, "max": 0.5}}
+        }
+        merged = merge_snapshots([legacy, nulled])
+        snap = self._strict_loads(json.dumps(merged))
+        hist = snap["histograms"]["t"]
+        assert hist["count"] == 3
+        assert hist["min"] is None
+        assert hist["max"] == pytest.approx(2.0)
+
     def test_facade_uses_default_registry(self):
         with obs.enabled_to(True):
             obs.counter("facade.test").add(2)

@@ -15,6 +15,7 @@ import pytest
 
 from repro.experiments.campaign import CampaignSpec, run_campaign, smoke_spec
 from repro.experiments.service import (
+    DEFAULT_SKEW_GRACE,
     affinity_key,
     claim_lease,
     lease_dir,
@@ -220,8 +221,8 @@ class TestLeases:
         path = str(tmp_path / "g.lease")
         assert claim_lease(path, "w0", ttl=0.05)
         time.sleep(0.1)
-        assert lease_expired(read_lease(path))
-        assert claim_lease(path, "w1", ttl=60)
+        assert lease_expired(read_lease(path), skew_grace_s=0.0)
+        assert claim_lease(path, "w1", ttl=60, skew_grace_s=0.0)
         assert read_lease(path)["worker"] == "w1"
 
     def test_renew_extends_and_detects_loss(self, tmp_path):
@@ -233,7 +234,7 @@ class TestLeases:
         # Owner loses the lease to a takeover after expiry:
         claim_lease(str(tmp_path / "h.lease"), "w0", ttl=0.0)
         time.sleep(0.01)
-        claim_lease(str(tmp_path / "h.lease"), "w1", ttl=60)
+        claim_lease(str(tmp_path / "h.lease"), "w1", ttl=60, skew_grace_s=0.0)
         assert not renew_lease(str(tmp_path / "h.lease"), "w0", ttl=60)
 
     def test_torn_lease_write_is_takeover_eligible(self, tmp_path):
@@ -242,6 +243,37 @@ class TestLeases:
             fh.write('{"format": "campaign-le')
         assert claim_lease(path, "w1", ttl=60)
         assert read_lease(path)["worker"] == "w1"
+
+    def test_skew_grace_pads_expiry(self, tmp_path):
+        """A lapsed TTL is not takeover-eligible until the skew budget
+        has also passed — a taker with a fast clock must not steal a
+        live worker's group."""
+        path = str(tmp_path / "g.lease")
+        assert claim_lease(path, "w0", ttl=0.05)
+        time.sleep(0.1)
+        lease = read_lease(path)
+        # Inside the grace window the lease is still honored...
+        assert not lease_expired(lease, skew_grace_s=60.0)
+        assert not claim_lease(path, "w1", ttl=60, skew_grace_s=60.0)
+        assert read_lease(path)["worker"] == "w0"
+        # ...with no grace it is takeover-eligible (the old behavior).
+        assert lease_expired(lease, skew_grace_s=0.0)
+        assert claim_lease(path, "w1", ttl=60, skew_grace_s=0.0)
+        assert read_lease(path)["worker"] == "w1"
+
+    def test_skew_grace_default_absorbs_small_clock_skew(self):
+        # Stamped by a host whose clock runs a second behind ours: raw
+        # comparison calls it expired, the default grace does not.
+        lease = {"worker": "w0", "expires_at": time.time() - 1.0}
+        assert lease_expired(lease, skew_grace_s=0.0)
+        assert not lease_expired(lease)
+        assert lease_expired(
+            lease, now=time.time() + DEFAULT_SKEW_GRACE + 2.0
+        )
+
+    def test_negative_grace_is_clamped_to_raw_comparison(self):
+        lease = {"worker": "w0", "expires_at": time.time() + 30.0}
+        assert not lease_expired(lease, skew_grace_s=-100.0)
 
 
 # -- the fleet ---------------------------------------------------------------
@@ -305,7 +337,11 @@ class TestFleetDeterminism:
         lease = os.path.join(lease_dir(tmp_path / "fleet"), f"{dead_aff}.lease")
         assert claim_lease(lease, "dead-worker", ttl=0.2)
         report = worker_loop(
-            tmp_path / "fleet", worker_id="rescuer", ttl=5, poll=0.05
+            tmp_path / "fleet",
+            worker_id="rescuer",
+            ttl=5,
+            poll=0.05,
+            skew_grace_s=0.0,
         )
         assert report.takeovers >= 1
         assert len(report.executed) == len(jobs)

@@ -7,6 +7,9 @@ pinned for :mod:`repro.core.parallel`, the other process fan-out in the
 codebase.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -17,12 +20,14 @@ from repro.core import DecodingGraph
 from repro.core.parallel import sample_and_solve
 from repro.decoders.metrics import dem_for, estimate_logical_error_rate, make_decoder
 from repro.experiments.shotrunner import (
+    ExecutionConfig,
     estimate_logical_error_rate_chunked,
     plan_chunks,
     run_shot_chunks,
     spawn_chunk_seeds,
 )
 from repro.noise import NoiseModel
+from repro.sim.bitbatch import BitSampleBatch
 from repro.sim.sampler import DemSampler
 
 
@@ -210,6 +215,84 @@ class TestStreaming:
             results[streaming] = (est.failures, est.shots)
         assert results[False] == results[True]
         assert results[True][1] < 20_000
+
+
+class _GatedSampler:
+    """Stub sampler: the first chunk samples instantly, every later one
+    blocks on a gate — stands in for a slow prefetch in flight."""
+
+    def __init__(self, gate: threading.Event):
+        self.gate = gate
+        self.calls = 0
+
+    def sample_packed(self, shots: int, rng) -> BitSampleBatch:
+        self.calls += 1
+        if self.calls > 1:
+            # Self-releases eventually so a regression can't hang the
+            # whole test run — the assertion threshold is far smaller.
+            self.gate.wait(timeout=20.0)
+        nwords = (shots + 63) // 64
+        return BitSampleBatch(
+            detectors=np.zeros((1, nwords), dtype=np.uint64),
+            observables=np.zeros((1, nwords), dtype=np.uint64),
+            shots=shots,
+        )
+
+
+class _AllFailDecoder:
+    """Every shot fails: trips max_failures on the first chunk."""
+
+    def count_failures_packed(self, batch: BitSampleBatch) -> int:
+        return batch.shots
+
+
+class _RaisingDecoder:
+    def count_failures_packed(self, batch: BitSampleBatch) -> int:
+        raise RuntimeError("decode blew up")
+
+
+class TestPrefetchShutdown:
+    """An early exit from the streaming loop must not wait out the
+    in-flight prefetch sample (the old executor context exit did)."""
+
+    def test_early_stop_returns_without_waiting_for_prefetch(self, d3_dem):
+        gate = threading.Event()
+        sampler = _GatedSampler(gate)
+        cfg = ExecutionConfig(
+            streaming=True,
+            chunk_shots=64,
+            max_failures=1,
+            sampler=sampler,
+            dec=_AllFailDecoder(),
+        )
+        try:
+            t0 = time.perf_counter()
+            est = run_shot_chunks(d3_dem, shots=192, config=cfg)
+            elapsed = time.perf_counter() - t0
+        finally:
+            gate.set()
+        assert elapsed < 5.0
+        assert (est.failures, est.shots) == (64, 64)
+
+    def test_decode_exception_returns_without_waiting_for_prefetch(
+        self, d3_dem
+    ):
+        gate = threading.Event()
+        sampler = _GatedSampler(gate)
+        cfg = ExecutionConfig(
+            streaming=True,
+            chunk_shots=64,
+            sampler=sampler,
+            dec=_RaisingDecoder(),
+        )
+        try:
+            t0 = time.perf_counter()
+            with pytest.raises(RuntimeError, match="decode blew up"):
+                run_shot_chunks(d3_dem, shots=192, config=cfg)
+            elapsed = time.perf_counter() - t0
+        finally:
+            gate.set()
+        assert elapsed < 5.0
 
 
 class TestRunnerDeterminism:
