@@ -9,14 +9,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-# Gates that act on qubits.
+# Gates that act on qubits.  NOISE_GATES and ALL_GATES are plain
+# (mutable) sets so :func:`register_noise_gate` can extend the IR —
+# every importer binds the same set objects, so registration is visible
+# stack-wide.  The simulators stay strict about it: a registered noise
+# gate they cannot lower raises instead of being silently dropped.
 CLIFFORD_GATES = frozenset({"H", "CNOT"})
 RESET_GATES = frozenset({"R", "RX"})
 MEASURE_GATES = frozenset({"M", "MX"})
-NOISE_GATES = frozenset({"DEPOLARIZE1", "DEPOLARIZE2", "PAULI_CHANNEL_1"})
+NOISE_GATES = {"DEPOLARIZE1", "DEPOLARIZE2", "PAULI_CHANNEL_1", "PAULI_CHANNEL_2"}
 ANNOTATIONS = frozenset({"DETECTOR", "OBSERVABLE_INCLUDE", "TICK"})
 
-ALL_GATES = CLIFFORD_GATES | RESET_GATES | MEASURE_GATES | NOISE_GATES | ANNOTATIONS
+ALL_GATES = set(
+    CLIFFORD_GATES | RESET_GATES | MEASURE_GATES | NOISE_GATES | ANNOTATIONS
+)
 
 # How many qubits each qubit-gate consumes per application.
 GATE_ARITY = {
@@ -29,7 +35,45 @@ GATE_ARITY = {
     "DEPOLARIZE1": 1,
     "DEPOLARIZE2": 2,
     "PAULI_CHANNEL_1": 1,
+    "PAULI_CHANNEL_2": 2,
 }
+
+# Required argument count per noise gate (None = unconstrained).
+NOISE_GATE_ARGS = {
+    "DEPOLARIZE1": 1,
+    "DEPOLARIZE2": 1,
+    "PAULI_CHANNEL_1": 3,
+    # The 15 non-identity two-qubit Pauli pair probabilities, in the
+    # canonical order of repro.sim.dem._TWO_QUBIT_PAULIS (IX, IY, IZ,
+    # XI, XX, ..., ZZ).
+    "PAULI_CHANNEL_2": 15,
+}
+
+
+def register_noise_gate(name: str, arity: int, num_args: int | None = None) -> None:
+    """Register an additional noise-gate name in the IR.
+
+    Extension hook for experimental channels: the circuit layer accepts
+    the gate, but any simulator / DEM extractor that has no lowering for
+    it must *raise* rather than skip it (``tests/test_sim_dem.py`` pins
+    that contract with a stub gate).  Use :func:`unregister_noise_gate`
+    to undo (tests should always clean up).
+    """
+    if name in ALL_GATES and name not in NOISE_GATES:
+        raise ValueError(f"{name!r} already names a non-noise gate")
+    NOISE_GATES.add(name)
+    ALL_GATES.add(name)
+    GATE_ARITY[name] = arity
+    if num_args is not None:
+        NOISE_GATE_ARGS[name] = num_args
+
+
+def unregister_noise_gate(name: str) -> None:
+    """Remove a gate added by :func:`register_noise_gate`."""
+    NOISE_GATES.discard(name)
+    ALL_GATES.discard(name)
+    GATE_ARITY.pop(name, None)
+    NOISE_GATE_ARGS.pop(name, None)
 
 
 @dataclass(frozen=True)
@@ -57,10 +101,12 @@ class Operation:
             raise ValueError(
                 f"{self.gate} takes groups of {arity} targets, got {len(self.targets)}"
             )
-        if self.gate == "PAULI_CHANNEL_1" and len(self.args) != 3:
-            raise ValueError("PAULI_CHANNEL_1 needs (px, py, pz)")
-        if self.gate in ("DEPOLARIZE1", "DEPOLARIZE2") and len(self.args) != 1:
-            raise ValueError(f"{self.gate} needs a single probability")
+        want_args = NOISE_GATE_ARGS.get(self.gate)
+        if want_args is not None and len(self.args) != want_args:
+            raise ValueError(
+                f"{self.gate} needs {want_args} probability argument(s), "
+                f"got {len(self.args)}"
+            )
         if self.gate == "OBSERVABLE_INCLUDE" and len(self.args) != 1:
             raise ValueError("OBSERVABLE_INCLUDE needs the observable index")
 

@@ -75,14 +75,42 @@ def _bad_spec_detail(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {detail!r}"
 
 
-def cmd_evaluate(args) -> int:
-    if args.noise is not None:
-        from .noise.spec import resolve_noise
+def _resolved_noise(args) -> "object | None":
+    """Resolve ``--noise`` plus an optional ``--noise-profile`` file.
 
-        try:  # validate up front: a typo'd token must not traceback
-            resolve_noise(args.noise, args.p)
-        except (KeyError, ValueError, TypeError) as exc:
-            raise SystemExit(f"bad --noise spec: {_bad_spec_detail(exc)}")
+    Returns ``None`` when neither flag is set (the default depolarizing
+    path downstream), otherwise the fully resolved ``NoiseSpec`` with
+    the device profile attached — the profile payload is inlined into
+    the spec, never carried as a path.  A typo'd token or unreadable
+    profile must not traceback.
+    """
+    profile_path = getattr(args, "noise_profile", None)
+    if args.noise is None and not profile_path:
+        return None
+    import dataclasses
+
+    from .noise.spec import resolve_noise
+
+    try:
+        spec = resolve_noise(args.noise, args.p)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SystemExit(f"bad --noise spec: {_bad_spec_detail(exc)}")
+    if profile_path:
+        from .noise.profile import load_device_profile
+
+        try:
+            spec = dataclasses.replace(
+                spec, profile=load_device_profile(profile_path)
+            )
+        except OSError as exc:
+            raise SystemExit(f"bad --noise-profile: {exc}")
+        except ValueError as exc:
+            raise SystemExit(f"bad --noise-profile: {_bad_spec_detail(exc)}")
+    return spec
+
+
+def cmd_evaluate(args) -> int:
+    noise = _resolved_noise(args)
     code = load_benchmark_code(args.code)
     schedule = coloration_schedule(code)
     rng = np.random.default_rng(args.seed)
@@ -92,8 +120,10 @@ def cmd_evaluate(args) -> int:
     print(f"d_eff estimate  : {deff.deff}")
     if args.noise:
         print(f"noise           : {args.noise}")
+    if getattr(args, "noise_profile", None):
+        print(f"device profile  : {args.noise_profile}")
     if args.rare_event:
-        _evaluate_rare_event(code, schedule, args, rng)
+        _evaluate_rare_event(code, schedule, args, rng, noise=noise)
     else:
         ler = estimate_logical_error_rate(
             code,
@@ -102,13 +132,15 @@ def cmd_evaluate(args) -> int:
             shots=args.shots,
             rng=rng,
             workers=args.workers,
-            noise=args.noise,
+            noise=noise,
         )
         print(f"LER @ p={args.p:g} : {ler.rate:.3e} ({ler.shots} shots/basis)")
     return 0
 
 
-def _evaluate_rare_event(code, schedule, args, rng: np.random.Generator) -> None:
+def _evaluate_rare_event(
+    code, schedule, args, rng: np.random.Generator, noise=None
+) -> None:
     """Weight-stratified LER: resolves rates far below 1/shots.
 
     ``--shots`` caps the decoded-shot budget per basis; the estimator
@@ -119,7 +151,8 @@ def _evaluate_rare_event(code, schedule, args, rng: np.random.Generator) -> None
     from .noise.spec import resolve_noise
     from .rareevent import estimate_ler_stratified
 
-    noise = resolve_noise(args.noise, args.p)
+    if noise is None:
+        noise = resolve_noise(args.noise, args.p)
     combined = None
     for basis in ("z", "x"):
         dem = dem_for(code, schedule, noise, basis=basis)
@@ -478,10 +511,9 @@ def cmd_stream(args) -> int:
     from .noise.spec import resolve_noise
     from .streaming import WindowConfig, stream_decode
 
-    try:
-        noise = resolve_noise(args.noise, args.p)
-    except (KeyError, ValueError, TypeError) as exc:
-        raise SystemExit(f"bad --noise spec: {_bad_spec_detail(exc)}")
+    noise = _resolved_noise(args)
+    if noise is None:
+        noise = resolve_noise(None, args.p)
     try:
         window = WindowConfig(
             window_rounds=args.window, commit_rounds=args.commit
@@ -573,8 +605,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--noise",
         default=None,
         help="noise scenario token: 'depolarizing' (default), "
-        "'biased:<eta>' (eta-biased Pauli at rate p), with an optional "
-        "',pm=<v>' readout-flip clause (absolute, or '<k>p' relative)",
+        "'biased:<eta>' (eta-biased Pauli at rate p), 'correlated' "
+        "(correlated two-qubit CNOT noise), with optional ',pm=<v>' "
+        "readout-flip and ',ct=<v>' measurement-crosstalk clauses "
+        "(absolute, or '<k>p' relative)",
+    )
+    ev.add_argument(
+        "--noise-profile",
+        default=None,
+        metavar="JSON",
+        help="device-profile-v1 JSON file of per-qubit / per-gate-class "
+        "rate multipliers, applied on top of --noise",
     )
     ev.add_argument(
         "--rare-event",
@@ -846,6 +887,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--noise",
         default=None,
         help="noise scenario token (same grammar as 'evaluate')",
+    )
+    strm.add_argument(
+        "--noise-profile",
+        default=None,
+        metavar="JSON",
+        help="device-profile-v1 JSON multipliers, as in 'evaluate'",
     )
     strm.set_defaults(fn=cmd_stream)
 

@@ -29,6 +29,7 @@ from . import (
     fig15_bias,
     fig15_idle,
     fig16_zne,
+    figcalib,
     table1_codes,
     table2_models,
 )
@@ -136,6 +137,14 @@ EXPERIMENTS = {
             store=opts.store,
         )
     ],
+    "figcalib": lambda opts: [
+        figcalib.run(
+            p_values=(3e-3,) if opts.smoke else (1e-3, 3e-3),
+            shots=_scale(opts, 240, 6000, 20_000),
+            workers=opts.workers,
+            store=opts.store,
+        )
+    ],
     "fig16": _run_fig16,
 }
 
@@ -150,6 +159,8 @@ ALIASES = {
     "figure15": "fig15",
     "figure15bias": "fig15bias",
     "fig15b": "fig15bias",
+    "figurecalib": "figcalib",
+    "calib": "figcalib",
     "figure16": "fig16",
 }
 

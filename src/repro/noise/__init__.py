@@ -2,26 +2,46 @@
 
 from .channels import (
     CHANNEL_REGISTRY,
+    TWO_QUBIT_PAULI_LABELS,
     BiasedPauliChannel,
+    CorrelatedPauliChannel,
     DepolarizingChannel,
     GateChannel,
     channel_from_payload,
     register_channel,
 )
+from .drift import DRIFT_MODES, DriftSchedule, label_round
 from .model import HARDWARE_IDLE_POINTS, NoiseModel
+from .profile import (
+    PROFILE_FORMAT,
+    PROFILE_GATE_CLASSES,
+    DeviceProfile,
+    load_device_profile,
+    synthetic_profile,
+)
 from .spec import NOISE_FORMAT, NoiseSpec, noise_display, resolve_noise
 
 __all__ = [
     "BiasedPauliChannel",
     "CHANNEL_REGISTRY",
+    "CorrelatedPauliChannel",
+    "DRIFT_MODES",
     "DepolarizingChannel",
+    "DeviceProfile",
+    "DriftSchedule",
     "GateChannel",
     "HARDWARE_IDLE_POINTS",
     "NOISE_FORMAT",
     "NoiseModel",
     "NoiseSpec",
+    "PROFILE_FORMAT",
+    "PROFILE_GATE_CLASSES",
+    "TWO_QUBIT_PAULI_LABELS",
     "channel_from_payload",
+    "label_round",
+    "load_device_profile",
     "noise_display",
     "register_channel",
     "resolve_noise",
+    "synthetic_profile",
 ]

@@ -51,11 +51,27 @@ def channel_from_payload(payload: dict[str, Any]) -> "GateChannel":
     return CHANNEL_REGISTRY[kind].from_payload(payload)
 
 
+# The 15 non-identity two-qubit Pauli pairs, in the canonical order
+# shared with ``PAULI_CHANNEL_2`` args and ``repro.sim.dem``.
+TWO_QUBIT_PAULI_LABELS = tuple(
+    f"{p1}{p2}"
+    for p1 in ("I", "X", "Y", "Z")
+    for p2 in ("I", "X", "Y", "Z")
+    if (p1, p2) != ("I", "I")
+)
+
+
 @dataclass(frozen=True)
 class GateChannel:
     """Base class for per-gate-class Pauli channels."""
 
     KIND: ClassVar[str] = ""
+    # Which gate arity the channel can attach to: None = any, 1 =
+    # single-qubit classes only, 2 = two-qubit classes (CNOT) only.
+    # ``NoiseSpec`` validates slots against this at construction so a
+    # correlated channel in the ``sq`` slot fails loudly, not at
+    # apply time deep inside a sweep.
+    ARITY: ClassVar[int | None] = None
 
     def ops(self, targets: tuple[int, ...], arity: int) -> list[LoweredOp]:
         """Lower one gate application's noise to IR instructions.
@@ -173,3 +189,83 @@ class BiasedPauliChannel(GateChannel):
     def from_payload(cls, payload: dict[str, Any]) -> "BiasedPauliChannel":
         _require_fields(payload, {"kind", "p", "eta"})
         return cls(p=float(payload["p"]), eta=float(payload["eta"]))
+
+
+@register_channel
+@dataclass(frozen=True)
+class CorrelatedPauliChannel(GateChannel):
+    """A genuinely correlated two-qubit Pauli channel.
+
+    Unlike every other channel (which lowers two-qubit gate noise to
+    *independent* per-qubit Paulis), this one draws a single error from
+    the 15 non-identity two-qubit Paulis with an arbitrary probability
+    per pair, lowering to one ``PAULI_CHANNEL_2`` instruction — so an
+    ``XX`` after a CNOT really is one mechanism flipping both qubits,
+    not two coincident singles.  ``probs`` follows the canonical
+    :data:`TWO_QUBIT_PAULI_LABELS` order (IX, IY, IZ, XI, XX, ..., ZZ).
+
+    Only attaches to two-qubit gate classes (``ARITY = 2``): there is no
+    sensible marginalization to a single-qubit application, and a silent
+    one would mask a misconfigured spec.
+    """
+
+    probs: tuple[float, ...]
+
+    KIND: ClassVar[str] = "correlated"
+    ARITY: ClassVar[int | None] = 2
+
+    def __post_init__(self):
+        probs = tuple(float(x) for x in self.probs)
+        object.__setattr__(self, "probs", probs)
+        if len(probs) != 15:
+            raise ValueError(
+                f"correlated channel needs 15 pair probabilities "
+                f"({', '.join(TWO_QUBIT_PAULI_LABELS)}), got {len(probs)}"
+            )
+        if any(not (math.isfinite(x) and 0 <= x <= 1) for x in probs):
+            raise ValueError("correlated pair probabilities must be in [0, 1]")
+        total = sum(probs)
+        if not 0 <= total <= 1:
+            raise ValueError(
+                f"correlated pair probabilities sum to {total}, outside [0, 1]"
+            )
+
+    @classmethod
+    def depolarizing(cls, p: float) -> "CorrelatedPauliChannel":
+        """Uniform p/15 per pair — the DEPOLARIZE2 split, but explicit."""
+        if not 0 <= p <= 1:
+            raise ValueError(f"correlated channel rate {p} outside [0, 1]")
+        return cls(probs=(p / 15.0,) * 15)
+
+    @classmethod
+    def from_pairs(cls, pairs: dict[str, float]) -> "CorrelatedPauliChannel":
+        """Build from a sparse {\"XX\": 0.001, ...} map (rest zero)."""
+        unknown = set(pairs) - set(TWO_QUBIT_PAULI_LABELS)
+        if unknown:
+            raise ValueError(f"unknown two-qubit Pauli labels: {sorted(unknown)}")
+        return cls(
+            probs=tuple(
+                float(pairs.get(label, 0.0)) for label in TWO_QUBIT_PAULI_LABELS
+            )
+        )
+
+    def total(self) -> float:
+        return float(sum(self.probs))
+
+    def ops(self, targets: tuple[int, ...], arity: int) -> list[LoweredOp]:
+        if arity != 2:
+            raise ValueError(
+                "correlated two-qubit channel cannot attach to a "
+                f"{arity}-qubit gate class"
+            )
+        if self.total() <= 0:
+            return []
+        return [("PAULI_CHANNEL_2", targets, self.probs)]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {"kind": self.KIND, "probs": [float(x) for x in self.probs]}
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "CorrelatedPauliChannel":
+        _require_fields(payload, {"kind", "probs"})
+        return cls(probs=tuple(float(x) for x in payload["probs"]))

@@ -1,0 +1,134 @@
+"""Round-indexed drift: rates that vary over the QEC schedule.
+
+Hardware drifts — a TLS wanders into resonance mid-run, flux noise
+accumulates, readout slowly degrades — so the i.i.d.-per-round noise
+assumption every uniform scenario makes is itself a scenario choice.  A
+:class:`DriftSchedule` is a sequence of dimensionless rate multipliers
+indexed by QEC round: round ``r``'s lowered noise instructions are
+scaled by ``multipliers[r]`` (``hold`` keeps the last entry for later
+rounds; ``cycle`` wraps around).
+
+Because the circuit is fully unrolled before DEM extraction, drift
+needs **no** simulator or decoder changes: the lowering simply emits
+different probabilities per round, the per-op DEM records them
+mechanism by mechanism, and the decoder prior is exact per round.  The
+parts of the stack that *do* fold rounds — the streaming
+:class:`~repro.streaming.rounds.RoundLayout` and the windowed-commit
+contract — are property-tested against drifting DEMs in
+``tests/test_streaming.py``: round grouping uses detector labels (which
+drift never touches) and committed corrections must stay bit-identical
+to the offline decode.
+
+The round index comes from the circuit builder's op labels
+(``("cnot", kind, stab, data, round)``, ``("anc_meas", kind, stab,
+round)``, ...).  Unlabeled circuits (hand-built, property-test
+circuits) never advance past round 0, which makes drift a deterministic
+uniform scaling there — still well-defined, still hashable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+DRIFT_MODES = ("hold", "cycle")
+
+# Builder label families whose last element is the QEC round index.
+_ROUND_LABEL_HEADS = {"cnot", "anc_meas", "anc_h", "anc_reset"}
+
+
+@dataclass(frozen=True)
+class DriftSchedule:
+    """Per-round rate multipliers over the QEC schedule."""
+
+    multipliers: tuple[float, ...]
+    mode: str = "hold"
+
+    def __post_init__(self):
+        multipliers = tuple(float(m) for m in self.multipliers)
+        object.__setattr__(self, "multipliers", multipliers)
+        if not multipliers:
+            raise ValueError("drift schedule needs at least one multiplier")
+        if any(not (math.isfinite(m) and m >= 0) for m in multipliers):
+            raise ValueError(
+                "drift multipliers must be finite and non-negative: "
+                f"{multipliers}"
+            )
+        if self.mode not in DRIFT_MODES:
+            raise ValueError(
+                f"unknown drift mode {self.mode!r} (known: {DRIFT_MODES})"
+            )
+
+    @classmethod
+    def linear(cls, start: float, stop: float, rounds: int) -> "DriftSchedule":
+        """A linear ramp over ``rounds`` rounds (then held)."""
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        if rounds == 1:
+            return cls(multipliers=(float(start),))
+        step = (stop - start) / (rounds - 1)
+        return cls(
+            multipliers=tuple(
+                round(start + step * r, 12) for r in range(rounds)
+            )
+        )
+
+    def factor(self, round_index: int) -> float:
+        """The multiplier for one QEC round (rounds count from 0)."""
+        if round_index < 0:
+            round_index = 0
+        n = len(self.multipliers)
+        if round_index < n:
+            return self.multipliers[round_index]
+        if self.mode == "cycle":
+            return self.multipliers[round_index % n]
+        return self.multipliers[-1]
+
+    def is_uniform(self) -> bool:
+        """True when every round scales identically by exactly 1."""
+        return all(m == 1.0 for m in self.multipliers)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"multipliers": [float(m) for m in self.multipliers]}
+        if self.mode != "hold":
+            payload["mode"] = self.mode
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "DriftSchedule":
+        known = {"multipliers", "mode"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown drift-schedule fields: {sorted(unknown)}")
+        if "multipliers" not in payload:
+            raise ValueError("drift schedule payload needs 'multipliers'")
+        return cls(
+            multipliers=tuple(float(m) for m in payload["multipliers"]),
+            mode=str(payload.get("mode", "hold")),
+        )
+
+
+def label_round(label: tuple) -> int | None:
+    """The QEC round a builder-labeled op belongs to, or ``None``.
+
+    Recognizes the circuit builder's label families; anything else
+    (including the final ``("data_meas", q)`` layer, which belongs to
+    whatever round came last) returns ``None`` so the caller keeps its
+    running round counter.
+    """
+    if (
+        isinstance(label, tuple)
+        and label
+        and label[0] in _ROUND_LABEL_HEADS
+        and isinstance(label[-1], int)
+    ):
+        return label[-1]
+    if isinstance(label, tuple) and label and label[0] == "data_init":
+        return 0
+    return None
+
+
+__all__ = ["DRIFT_MODES", "DriftSchedule", "label_round"]

@@ -1,0 +1,212 @@
+"""Per-qubit / per-gate-class calibration: the JSON "device profile".
+
+Real patches are not uniform: one readout resonator runs hot, a corner
+qubit has a noisy neighbor, CNOTs are systematically worse than
+single-qubit gates.  A :class:`DeviceProfile` captures that as
+dimensionless *rate multipliers* over a :class:`~repro.noise.spec
+.NoiseSpec`'s base channels:
+
+* ``qubits`` — per-qubit multiplier (missing qubits use ``default``);
+* ``gates`` — per-gate-class multiplier over the spec's lowering
+  classes (``sq``, ``cnot``, ``meas``, ``readout``, ``idle``,
+  ``crosstalk``).
+
+A lowered noise instruction touching qubits ``Q`` under class ``c`` is
+scaled by ``gates[c] * mean(qubits[q] for q in Q)`` — the arithmetic
+mean for two-qubit applications, so a hot/cold pair lands in between.
+Multipliers compose with the round-indexed drift factor
+(:mod:`repro.noise.drift`).
+
+Serialization is the ``device-profile-v1`` payload.  It is **inlined**
+into the ``noise-spec-v1`` payload (and from there into campaign job
+keys) — profiles are never referenced by file path, so campaign
+content-addressing holds: two jobs agree on their noise iff their
+inlined profiles agree byte-for-byte.  :func:`load_device_profile`
+reads and validates a profile JSON file at the CLI boundary; what is
+stored and hashed is always the payload.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+PROFILE_FORMAT = "device-profile-v1"
+
+# The gate classes a NoiseSpec lowers through; profile keys must come
+# from this set so a typo'd class fails loudly instead of silently
+# running uniform physics.
+PROFILE_GATE_CLASSES = ("sq", "cnot", "meas", "readout", "idle", "crosstalk")
+
+
+def _check_multiplier(name: str, value: float) -> float:
+    value = float(value)
+    if not (math.isfinite(value) and value >= 0):
+        raise ValueError(
+            f"device-profile multiplier {name} must be finite and "
+            f"non-negative, got {value}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Heterogeneous calibration multipliers across the patch."""
+
+    qubits: dict[int, float] = field(default_factory=dict)
+    gates: dict[str, float] = field(default_factory=dict)
+    default: float = 1.0
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "qubits",
+            {
+                int(q): _check_multiplier(f"qubits[{q}]", v)
+                for q, v in self.qubits.items()
+            },
+        )
+        for q in self.qubits:
+            if q < 0:
+                raise ValueError(f"device-profile qubit index {q} is negative")
+        unknown = set(self.gates) - set(PROFILE_GATE_CLASSES)
+        if unknown:
+            raise ValueError(
+                f"unknown device-profile gate classes: {sorted(unknown)} "
+                f"(known: {', '.join(PROFILE_GATE_CLASSES)})"
+            )
+        object.__setattr__(
+            self,
+            "gates",
+            {
+                str(g): _check_multiplier(f"gates[{g}]", v)
+                for g, v in self.gates.items()
+            },
+        )
+        _check_multiplier("default", self.default)
+        object.__setattr__(self, "default", float(self.default))
+
+    # Frozen dataclasses with dict fields cannot rely on the generated
+    # __hash__; key-based equality is what campaigns use anyway.
+    def __hash__(self):
+        return hash(
+            (
+                tuple(sorted(self.qubits.items())),
+                tuple(sorted(self.gates.items())),
+                self.default,
+            )
+        )
+
+    def qubit_scale(self, qubit: int) -> float:
+        return self.qubits.get(int(qubit), self.default)
+
+    def scale(self, gate_class: str, qubits: tuple[int, ...]) -> float:
+        """The multiplier for one lowered instruction.
+
+        ``gate_class * mean(per-qubit)``: single-qubit applications use
+        that qubit's multiplier directly; two-qubit applications the
+        arithmetic mean of the pair's.
+        """
+        gate = self.gates.get(gate_class, 1.0)
+        if not qubits:
+            return gate
+        return gate * sum(self.qubit_scale(q) for q in qubits) / len(qubits)
+
+    def is_uniform(self) -> bool:
+        """True when every multiplier is exactly 1 (profile is a no-op)."""
+        return (
+            self.default == 1.0
+            and all(v == 1.0 for v in self.qubits.values())
+            and all(v == 1.0 for v in self.gates.values())
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"format": PROFILE_FORMAT}
+        if self.default != 1.0:
+            payload["default"] = float(self.default)
+        if self.qubits:
+            # JSON object keys are strings; canonical form sorts them.
+            payload["qubits"] = {str(q): float(v) for q, v in self.qubits.items()}
+        if self.gates:
+            payload["gates"] = {g: float(v) for g, v in self.gates.items()}
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "DeviceProfile":
+        if payload.get("format") != PROFILE_FORMAT:
+            raise ValueError(f"not a {PROFILE_FORMAT} payload")
+        known = {"format", "default", "qubits", "gates"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown device-profile fields: {sorted(unknown)}"
+            )
+        raw_qubits = payload.get("qubits", {})
+        try:
+            qubits = {int(q): float(v) for q, v in raw_qubits.items()}
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad device-profile qubit map: {exc}") from None
+        return cls(
+            qubits=qubits,
+            gates={str(g): float(v) for g, v in payload.get("gates", {}).items()},
+            default=float(payload.get("default", 1.0)),
+        )
+
+
+def load_device_profile(path: str) -> DeviceProfile:
+    """Read + validate a profile JSON file (CLI boundary only).
+
+    The returned profile is *inlined* into whatever noise-spec payload
+    rides the campaign — the path itself never reaches a job key.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"device profile {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ValueError(f"device profile {path} must be a JSON object")
+    return DeviceProfile.from_payload(payload)
+
+
+def synthetic_profile(
+    num_qubits: int,
+    seed: int = 0,
+    spread: float = 0.35,
+    hot_qubits: int = 2,
+    hot_factor: float = 2.5,
+    cnot_factor: float = 1.4,
+    readout_factor: float = 1.6,
+) -> DeviceProfile:
+    """A deterministic heterogeneous profile for sweeps and tests.
+
+    Models the shape real calibration data takes: a lognormal-ish
+    scatter of per-qubit multipliers around 1 (width ``spread``), a few
+    distinctly *hot* qubits (``hot_factor``), and systematically worse
+    two-qubit gates and readout.  Deterministic in ``seed`` so campaign
+    jobs built from it are content-addressed stably.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    scales = np.exp(rng.normal(0.0, spread, size=num_qubits))
+    if num_qubits and hot_qubits:
+        hot = rng.choice(num_qubits, size=min(hot_qubits, num_qubits), replace=False)
+        scales[hot] *= hot_factor
+    return DeviceProfile(
+        qubits={int(q): round(float(s), 6) for q, s in enumerate(scales)},
+        gates={"cnot": cnot_factor, "readout": readout_factor},
+    )
+
+
+__all__ = [
+    "PROFILE_FORMAT",
+    "PROFILE_GATE_CLASSES",
+    "DeviceProfile",
+    "load_device_profile",
+    "synthetic_profile",
+]

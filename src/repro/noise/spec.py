@@ -10,8 +10,18 @@ A ``NoiseSpec`` assembles per-gate-class channels
   decoupled from the gate error: a basis-aligned Pauli just before the
   measurement (X before M, Z before MX), which flips exactly that
   outcome;
+* ``crosstalk`` — measurement crosstalk: a correlated basis-aligned
+  two-qubit Pauli (``XX`` before M pairs, ``ZZ`` before MX pairs)
+  chaining consecutive same-basis measurements within a TICK layer, so
+  one mechanism flips two neighboring readouts at once;
 * ``idle_strength`` — the Pauli-twirled idle channel of paper §6.3,
-  attached to every qubit not acted on in a TICK-delimited layer.
+  attached to every qubit not acted on in a TICK-delimited layer;
+* ``profile`` — per-qubit / per-gate-class calibration multipliers
+  (:class:`~repro.noise.profile.DeviceProfile`) over every lowered
+  instruction;
+* ``drift`` — round-indexed rate multipliers
+  (:class:`~repro.noise.drift.DriftSchedule`), derived from the circuit
+  builder's op labels.
 
 Everything lowers to the labeled Pauli noise ops of the IR, so the
 frame simulator, DEM extraction, packed samplers, decoders, and the
@@ -22,15 +32,18 @@ Specs are serializable (:meth:`NoiseSpec.to_payload` — the canonical
 ``noise-spec-v1`` dict) and canonical-JSON-hashable
 (:meth:`NoiseSpec.key`): the campaign engine hashes the payload into
 ``CampaignJob`` keys, so every result-affecting noise knob is content-
-addressed.
+addressed.  Uniform (all-ones) profiles and drift schedules are
+physically no-ops and are omitted from the payload, so a spec with and
+without them content-addresses identically — and pre-existing payloads
+keep their keys.
 
-Caveat shared by every pre-measurement error (including ``readout``):
-the injected Pauli stays on the qubit after the measurement.  For the
-memory experiments this is exactly Stim-style readout error (ancillas
-are reset each round, data qubits are measured last), but on circuits
-that keep using a measured qubit without resetting it the flip also
-propagates forward — it is a physical error, not a classical
-record-only flip.
+Caveat shared by every pre-measurement error (including ``readout`` and
+``crosstalk``): the injected Pauli stays on the qubit after the
+measurement.  For the memory experiments this is exactly Stim-style
+readout error (ancillas are reset each round, data qubits are measured
+last), but on circuits that keep using a measured qubit without
+resetting it the flip also propagates forward — it is a physical
+error, not a classical record-only flip.
 """
 
 from __future__ import annotations
@@ -45,12 +58,23 @@ from ..circuits.circuit import Circuit
 from ..circuits.gates import GATE_ARITY, MEASURE_GATES, NOISE_GATES
 from .channels import (
     BiasedPauliChannel,
+    CorrelatedPauliChannel,
     DepolarizingChannel,
     GateChannel,
+    TWO_QUBIT_PAULI_LABELS,
     channel_from_payload,
 )
+from .drift import DriftSchedule, label_round
+from .profile import DeviceProfile
 
 NOISE_FORMAT = "noise-spec-v1"
+
+# Crosstalk flavor per measurement basis: the Pauli pair that flips
+# both outcomes, as an index into the canonical PAULI_CHANNEL_2 args.
+_XTALK_INDEX = {
+    "M": TWO_QUBIT_PAULI_LABELS.index("XX"),
+    "MX": TWO_QUBIT_PAULI_LABELS.index("ZZ"),
+}
 
 
 def _canonical_json(payload: Any) -> str:
@@ -58,6 +82,57 @@ def _canonical_json(payload: Any) -> str:
     # inlined so the noise layer does not depend on the experiments
     # layer (which imports this module).
     return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def _measurement_crosstalk_pairs(
+    circuit: Circuit,
+) -> dict[int, list[tuple[str, tuple[int, int]]]]:
+    """Chain-pair same-basis measurements within each TICK layer.
+
+    Returns ``{first_meas_op_idx: [(basis, (a, b)), ...]}`` — the
+    correlated flips to inject just before a layer's first measurement.
+    Qubits are paired consecutively in appearance order (overlapping
+    chain ``(q0,q1), (q1,q2), ...``), the usual nearest-neighbor
+    readout-crosstalk approximation for a multiplexed readout line.
+    """
+    pairs_at: dict[int, list[tuple[str, tuple[int, int]]]] = {}
+    layer_meas: dict[str, list[int]] = {g: [] for g in MEASURE_GATES}
+    first_idx: int | None = None
+
+    def flush():
+        nonlocal first_idx
+        pairs = [
+            (gate, (a, b))
+            for gate in sorted(layer_meas)
+            for a, b in zip(layer_meas[gate], layer_meas[gate][1:])
+        ]
+        if pairs and first_idx is not None:
+            pairs_at[first_idx] = pairs
+        for qs in layer_meas.values():
+            qs.clear()
+        first_idx = None
+
+    for idx, op in enumerate(circuit):
+        if op.gate == "TICK":
+            flush()
+        elif op.gate in MEASURE_GATES:
+            if first_idx is None:
+                first_idx = idx
+            layer_meas[op.gate].extend(op.targets)
+    flush()
+    return pairs_at
+
+
+def _scaled_args(gate: str, args: tuple[float, ...], factor: float) -> tuple:
+    """Scale a noise op's probabilities, failing loudly past unity."""
+    scaled = tuple(a * factor for a in args)
+    total = scaled[0] if gate in ("DEPOLARIZE1", "DEPOLARIZE2") else sum(scaled)
+    if total > 1.0:
+        raise ValueError(
+            f"profile/drift scaling (x{factor:g}) pushes {gate} total "
+            f"probability to {total:g} > 1"
+        )
+    return scaled
 
 
 @dataclass(frozen=True)
@@ -69,18 +144,57 @@ class NoiseSpec:
     meas: GateChannel | None = None
     readout: float = 0.0
     idle_strength: float = 0.0
+    crosstalk: float = 0.0
+    profile: DeviceProfile | None = None
+    drift: DriftSchedule | None = None
 
     def __post_init__(self):
         if not 0 <= self.readout <= 1:
             raise ValueError(f"readout flip probability {self.readout} outside [0, 1]")
+        if not 0 <= self.crosstalk <= 1:
+            raise ValueError(
+                f"measurement crosstalk probability {self.crosstalk} outside [0, 1]"
+            )
         if self.idle_strength < 0:
             raise ValueError("idle strength must be non-negative")
+        # Uniform (all-ones) profiles and drift schedules are physical
+        # no-ops: normalize them away at construction so equality,
+        # payload round-trips, and content addresses all agree that a
+        # no-op is a no-op.
+        if self.profile is not None and self.profile.is_uniform():
+            object.__setattr__(self, "profile", None)
+        if self.drift is not None and self.drift.is_uniform():
+            object.__setattr__(self, "drift", None)
+        # Channels declare which gate arity they attach to; catch a
+        # correlated channel in a single-qubit slot at construction,
+        # not at apply time deep inside a sweep.
+        for slot, channel, arity in (
+            ("sq", self.sq, 1),
+            ("cnot", self.cnot, 2),
+            ("meas", self.meas, 1),
+        ):
+            if (
+                channel is not None
+                and channel.ARITY is not None
+                and channel.ARITY != arity
+            ):
+                raise ValueError(
+                    f"channel kind {channel.KIND!r} attaches to "
+                    f"{channel.ARITY}-qubit gate classes and cannot fill "
+                    f"the {slot!r} slot"
+                )
 
     # -- constructors --------------------------------------------------------
 
     @classmethod
     def depolarizing(
-        cls, p: float, idle_strength: float = 0.0, readout: float = 0.0
+        cls,
+        p: float,
+        idle_strength: float = 0.0,
+        readout: float = 0.0,
+        crosstalk: float = 0.0,
+        profile: DeviceProfile | None = None,
+        drift: DriftSchedule | None = None,
     ) -> "NoiseSpec":
         """The paper's two-knob model: uniform depolarizing + idle.
 
@@ -94,6 +208,9 @@ class NoiseSpec:
             meas=channel,
             readout=readout,
             idle_strength=idle_strength,
+            crosstalk=crosstalk,
+            profile=profile,
+            drift=drift,
         )
 
     @classmethod
@@ -103,6 +220,7 @@ class NoiseSpec:
         eta: float,
         idle_strength: float = 0.0,
         readout: float = 0.0,
+        crosstalk: float = 0.0,
     ) -> "NoiseSpec":
         """Biased Pauli noise at total rate ``p`` on every gate class."""
         channel = BiasedPauliChannel(p, eta) if p > 0 else None
@@ -112,6 +230,31 @@ class NoiseSpec:
             meas=channel,
             readout=readout,
             idle_strength=idle_strength,
+            crosstalk=crosstalk,
+        )
+
+    @classmethod
+    def correlated(
+        cls,
+        p: float,
+        idle_strength: float = 0.0,
+        readout: float = 0.0,
+        crosstalk: float = 0.0,
+    ) -> "NoiseSpec":
+        """Depolarizing singles + genuinely correlated two-qubit noise.
+
+        Marginally identical to :meth:`depolarizing` (the correlated
+        channel's uniform ``p/15`` split *is* DEPOLARIZE2), but lowered
+        through ``PAULI_CHANNEL_2`` — the litmus scenario pinning that
+        the correlated path and the legacy path agree.
+        """
+        return cls(
+            sq=DepolarizingChannel(p) if p > 0 else None,
+            cnot=CorrelatedPauliChannel.depolarizing(p) if p > 0 else None,
+            meas=DepolarizingChannel(p) if p > 0 else None,
+            readout=readout,
+            idle_strength=idle_strength,
+            crosstalk=crosstalk,
         )
 
     # -- idle lowering -------------------------------------------------------
@@ -130,48 +273,109 @@ class NoiseSpec:
 
         Error channels inherit the ``label`` of the gate they attach to
         so the detector-error-model can trace mechanisms back to
-        schedule edges.
+        schedule edges.  When a device profile or drift schedule is
+        set, lowered instructions are split by distinct scale factor;
+        with neither (or with uniform ones) the lowering is op-for-op
+        identical to the unscaled spec.
         """
         if any(op.is_noise() for op in circuit):
             raise ValueError("circuit already contains noise operations")
         noisy = Circuit()
         all_qubits = frozenset(range(circuit.num_qubits))
         idle_p = self.idle_pauli_prob
+        profile = self.profile
+        drift = self.drift
+        xtalk_at = (
+            _measurement_crosstalk_pairs(circuit) if self.crosstalk > 0 else {}
+        )
+
+        # The QEC round currently being lowered, from builder op labels
+        # (monotonic max; unlabeled circuits stay at round 0, making
+        # drift a uniform scaling there).
+        current_round = 0
 
         layer_active: set[int] = set()
         layer_had_gates = False
 
-        def emit(channel: GateChannel | None, op) -> None:
+        def append_scaled(gate, targets, args, gate_class, label):
+            """Append one lowered noise op, profile/drift-scaled.
+
+            Target groups with distinct scale factors are split into
+            separate ops; consecutive equal-factor groups stay fused so
+            the uniform case emits the exact legacy op sequence.
+            """
+            if profile is None and drift is None:
+                noisy.append(gate, targets, args=args, label=label)
+                return
+            arity = GATE_ARITY[gate]
+            groups = [
+                tuple(targets[i : i + arity]) for i in range(0, len(targets), arity)
+            ]
+            round_factor = drift.factor(current_round) if drift is not None else 1.0
+            factors = [
+                round_factor
+                * (profile.scale(gate_class, g) if profile is not None else 1.0)
+                for g in groups
+            ]
+            start = 0
+            for i in range(1, len(groups) + 1):
+                if i < len(groups) and factors[i] == factors[start]:
+                    continue
+                run = [q for g in groups[start:i] for q in g]
+                f = factors[start]
+                noisy.append(
+                    gate,
+                    run,
+                    args=args if f == 1.0 else _scaled_args(gate, args, f),
+                    label=label,
+                )
+                start = i
+
+        def emit(channel: GateChannel | None, op, gate_class: str) -> None:
             if channel is None:
                 return
             arity = GATE_ARITY[op.gate]
             for gate, targets, args in channel.ops(op.targets, arity):
-                noisy.append(gate, targets, args=args, label=op.label)
+                append_scaled(gate, targets, args, gate_class, op.label)
 
         def close_layer():
             nonlocal layer_had_gates
             if idle_p > 0 and layer_had_gates:
                 idle = sorted(all_qubits - layer_active)
                 if idle:
-                    noisy.append(
+                    append_scaled(
                         "PAULI_CHANNEL_1",
                         idle,
-                        args=(idle_p, idle_p, idle_p),
-                        label=("idle",),
+                        (idle_p, idle_p, idle_p),
+                        "idle",
+                        ("idle",),
                     )
             layer_active.clear()
             layer_had_gates = False
 
-        for op in circuit:
+        for op_idx, op in enumerate(circuit):
             if op.gate == "TICK":
                 close_layer()
                 noisy.operations.append(op)
                 continue
+            round_index = label_round(op.label)
+            if round_index is not None and round_index > current_round:
+                current_round = round_index
             if op.gate in GATE_ARITY and op.gate not in NOISE_GATES:
                 layer_active.update(op.targets)
                 layer_had_gates = True
             if op.gate in MEASURE_GATES:
-                emit(self.meas, op)
+                for basis, pair in xtalk_at.get(op_idx, ()):
+                    args = [0.0] * 15
+                    args[_XTALK_INDEX[basis]] = self.crosstalk
+                    append_scaled(
+                        "PAULI_CHANNEL_2",
+                        pair,
+                        tuple(args),
+                        "crosstalk",
+                        ("crosstalk",) + pair,
+                    )
+                emit(self.meas, op, "meas")
                 if self.readout > 0:
                     # Basis-aligned flip: X toggles a Z-basis outcome,
                     # Z toggles an X-basis outcome.
@@ -180,16 +384,16 @@ class NoiseSpec:
                         if op.gate == "M"
                         else (0.0, 0.0, self.readout)
                     )
-                    noisy.append(
-                        "PAULI_CHANNEL_1", op.targets, args=args, label=op.label
+                    append_scaled(
+                        "PAULI_CHANNEL_1", op.targets, args, "readout", op.label
                     )
                 noisy.operations.append(op)
             elif op.gate == "CNOT":
                 noisy.operations.append(op)
-                emit(self.cnot, op)
+                emit(self.cnot, op, "cnot")
             elif op.gate in ("R", "RX", "H"):
                 noisy.operations.append(op)
-                emit(self.sq, op)
+                emit(self.sq, op, "sq")
             else:
                 noisy.operations.append(op)
         close_layer()
@@ -198,12 +402,18 @@ class NoiseSpec:
     # -- serialization / hashing ---------------------------------------------
 
     def to_payload(self) -> dict[str, Any]:
-        """The canonical ``noise-spec-v1`` dict — exactly what hashes."""
+        """The canonical ``noise-spec-v1`` dict — exactly what hashes.
+
+        New scenario fields (``crosstalk``, ``profile``, ``drift``) are
+        omitted at their physical no-op values, so payloads — and hence
+        campaign job keys — written before those fields existed stay
+        byte-identical.
+        """
 
         def chan(c: GateChannel | None):
             return None if c is None else c.to_payload()
 
-        return {
+        payload: dict[str, Any] = {
             "format": NOISE_FORMAT,
             "sq": chan(self.sq),
             "cnot": chan(self.cnot),
@@ -211,12 +421,29 @@ class NoiseSpec:
             "readout": float(self.readout),
             "idle_strength": float(self.idle_strength),
         }
+        if self.crosstalk > 0:
+            payload["crosstalk"] = float(self.crosstalk)
+        if self.profile is not None:
+            payload["profile"] = self.profile.to_payload()
+        if self.drift is not None:
+            payload["drift"] = self.drift.to_payload()
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict[str, Any]) -> "NoiseSpec":
         if payload.get("format") != NOISE_FORMAT:
             raise ValueError(f"not a {NOISE_FORMAT} payload")
-        known = {"format", "sq", "cnot", "meas", "readout", "idle_strength"}
+        known = {
+            "format",
+            "sq",
+            "cnot",
+            "meas",
+            "readout",
+            "idle_strength",
+            "crosstalk",
+            "profile",
+            "drift",
+        }
         unknown = set(payload) - known
         if unknown:
             # A misspelled field would otherwise run different physics
@@ -226,12 +453,21 @@ class NoiseSpec:
         def chan(value):
             return None if value is None else channel_from_payload(value)
 
+        raw_profile = payload.get("profile")
+        raw_drift = payload.get("drift")
         return cls(
             sq=chan(payload.get("sq")),
             cnot=chan(payload.get("cnot")),
             meas=chan(payload.get("meas")),
             readout=float(payload.get("readout", 0.0)),
             idle_strength=float(payload.get("idle_strength", 0.0)),
+            crosstalk=float(payload.get("crosstalk", 0.0)),
+            profile=(
+                None if raw_profile is None else DeviceProfile.from_payload(raw_profile)
+            ),
+            drift=(
+                None if raw_drift is None else DriftSchedule.from_payload(raw_drift)
+            ),
         )
 
     def key(self) -> str:
@@ -242,6 +478,26 @@ class NoiseSpec:
 
 
 # -- campaign-facing resolution ----------------------------------------------
+
+
+def _clause_rate(name: str, value: str, p: float, spec: str) -> float:
+    """Parse a clause value: absolute (``0.003``) or relative (``2p``).
+
+    A bare ``p`` (coefficient omitted) means ``1*p``.  Malformed values
+    raise ``ValueError`` naming the offending clause.
+    """
+    raw = value
+    relative = value.endswith("p")
+    if relative:
+        value = value[:-1]
+    try:
+        coeff = 1.0 if relative and value == "" else float(value)
+    except ValueError:
+        raise ValueError(
+            f"malformed noise clause {name}={raw!r} in {spec!r}: expected "
+            f"a probability or a multiple of p like '2p'"
+        ) from None
+    return coeff * p if relative else coeff
 
 
 def resolve_noise(
@@ -256,9 +512,14 @@ def resolve_noise(
     the job's ``p`` so a (noise x p) grid sweeps cleanly:
 
     * ``"biased:<eta>"`` — biased Pauli at total rate ``p``;
-    * a ``",pm=<v>"`` suffix sets the independent readout flip —
-      absolute (``pm=0.003``) or relative to p (``pm=2p``).  A bare
-      ``"pm=<v>"`` token means depolarizing gates plus that readout.
+    * ``"correlated"`` — depolarizing singles plus a genuinely
+      correlated two-qubit channel at total rate ``p`` on CNOTs;
+    * a ``",pm=<v>"`` suffix sets the independent readout flip and a
+      ``",ct=<v>"`` suffix the measurement crosstalk — absolute
+      (``pm=0.003``) or relative to p (``pm=2p``; a bare ``pm=p`` is
+      ``1*p``).  A token starting with a clause (``"pm=<v>"``) means
+      depolarizing gates plus that clause.  Duplicate clauses and
+      unknown clauses are rejected with ``ValueError``.
 
     A dict is an inline serialized ``noise-spec-v1`` payload: fully
     absolute (how hand-built scenarios enter a campaign content-
@@ -273,21 +534,51 @@ def resolve_noise(
     if not isinstance(spec, str):
         raise TypeError(f"noise spec must be a token, payload dict, or None: {spec!r}")
     family, _, rest = spec.partition(",")
-    if family.startswith("pm="):
+    if "=" in family:
         family, rest = "depolarizing", spec
     readout = 0.0
+    crosstalk = 0.0
+    seen: set[str] = set()
     for clause in filter(None, rest.split(",")):
-        if clause.startswith("pm="):
-            value = clause[3:]
-            readout = float(value[:-1]) * p if value.endswith("p") else float(value)
+        name, sep, value = clause.partition("=")
+        if not sep or name not in ("pm", "ct"):
+            raise ValueError(
+                f"unknown noise clause {clause!r} in {spec!r} "
+                f"(known clauses: pm=<v>, ct=<v>)"
+            )
+        if name in seen:
+            # Last-wins would silently run different physics than the
+            # token appears to name.
+            raise ValueError(f"duplicate noise clause {name!r} in {spec!r}")
+        seen.add(name)
+        rate = _clause_rate(name, value, p, spec)
+        if name == "pm":
+            readout = rate
         else:
-            raise KeyError(f"unknown noise clause {clause!r} in {spec!r}")
+            crosstalk = rate
     if family == "depolarizing":
-        return NoiseSpec.depolarizing(p, idle_strength=idle_strength, readout=readout)
+        return NoiseSpec.depolarizing(
+            p, idle_strength=idle_strength, readout=readout, crosstalk=crosstalk
+        )
+    if family == "correlated":
+        return NoiseSpec.correlated(
+            p, idle_strength=idle_strength, readout=readout, crosstalk=crosstalk
+        )
     if family.startswith("biased:"):
-        eta = float(family.split(":", 1)[1])
-        return NoiseSpec.biased(p, eta, idle_strength=idle_strength, readout=readout)
-    raise KeyError(f"unknown noise token {spec!r}")
+        raw_eta = family.split(":", 1)[1]
+        try:
+            eta = float(raw_eta)
+        except ValueError:
+            raise ValueError(
+                f"malformed bias eta {raw_eta!r} in noise token {spec!r}"
+            ) from None
+        return NoiseSpec.biased(
+            p, eta, idle_strength=idle_strength, readout=readout, crosstalk=crosstalk
+        )
+    raise ValueError(
+        f"unknown noise token {spec!r} (known families: depolarizing, "
+        f"biased:<eta>, correlated)"
+    )
 
 
 def noise_display(spec: "str | dict[str, Any] | None") -> str:

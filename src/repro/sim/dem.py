@@ -148,6 +148,24 @@ def _enumerate_noise_sites(
                 for pauli, prob in (("X", px), ("Y", py), ("Z", pz)):
                     if prob > 0:
                         sites.append((op_idx, prob, [(pauli, q)], op.label))
+        elif op.gate == "PAULI_CHANNEL_2":
+            for (a, b) in op.target_groups():
+                for (p1, p2), prob in zip(_TWO_QUBIT_PAULIS, op.args):
+                    if prob <= 0:
+                        continue
+                    terms = []
+                    if p1 != "I":
+                        terms.append((p1, a))
+                    if p2 != "I":
+                        terms.append((p2, b))
+                    sites.append((op_idx, prob, terms, op.label))
+        elif op.is_noise():
+            # A channel lowering to a noise gate outside this set would
+            # otherwise yield a DEM silently missing mechanisms — the
+            # decoder would run happily against the wrong error model.
+            raise ValueError(
+                f"DEM extraction has no lowering for noise gate {op.gate!r}"
+            )
     return sites
 
 

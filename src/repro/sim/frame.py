@@ -59,6 +59,22 @@ def _dep2_flips(draw: np.ndarray, p: float) -> tuple[np.ndarray, ...]:
     )
 
 
+def _pauli2_flips(draw: np.ndarray, probs: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Flip masks for one PAULI_CHANNEL_2 pair (15 per-Pauli-pair probs).
+
+    ``probs`` follows the canonical ``_TWO_QUBIT_PAULIS`` order; a draw
+    past the cumulative total is the identity (table entry 15).
+    """
+    edges = np.cumsum(probs)
+    idx = np.searchsorted(edges, draw, side="right")
+    return (
+        _DEP2_XA[idx],
+        _DEP2_ZA[idx],
+        _DEP2_XB[idx],
+        _DEP2_ZB[idx],
+    )
+
+
 class FrameSimulator:
     """Sample noisy-circuit detector outcomes by Pauli-frame propagation."""
 
@@ -132,6 +148,22 @@ class FrameSimulator:
                     flips = pack_rows(np.stack([is_x | is_y, is_z | is_y]))
                     xf[qq] ^= flips[0]
                     zf[qq] ^= flips[1]
+            elif op.gate == "PAULI_CHANNEL_2":
+                probs = np.asarray(op.args, dtype=np.float64)
+                for a, b in op.target_groups():
+                    draw = rng.random(shots)
+                    xa, za, xb, zb = _pauli2_flips(draw, probs)
+                    flips = pack_rows(np.stack([xa, za, xb, zb]))
+                    xf[a] ^= flips[0]
+                    zf[a] ^= flips[1]
+                    xf[b] ^= flips[2]
+                    zf[b] ^= flips[3]
+            elif op.is_noise():
+                # A registered noise gate with no lowering here would
+                # silently sample the *noiseless* circuit — refuse.
+                raise ValueError(
+                    f"FrameSimulator has no lowering for noise gate {op.gate!r}"
+                )
             elif op.gate == "DETECTOR":
                 row = np.zeros(nwords, dtype=np.uint64)
                 for idx in op.targets:
@@ -227,6 +259,19 @@ class FrameSimulator:
                     is_z = (draw >= px + py) & (draw < total)
                     xf[:, qq] ^= is_x | is_y
                     zf[:, qq] ^= is_z | is_y
+            elif op.gate == "PAULI_CHANNEL_2":
+                probs = np.asarray(op.args, dtype=np.float64)
+                for a, b in op.target_groups():
+                    draw = rng.random(shots)
+                    xa, za, xb, zb = _pauli2_flips(draw, probs)
+                    xf[:, a] ^= xa
+                    zf[:, a] ^= za
+                    xf[:, b] ^= xb
+                    zf[:, b] ^= zb
+            elif op.is_noise():
+                raise ValueError(
+                    f"FrameSimulator has no lowering for noise gate {op.gate!r}"
+                )
             elif op.gate == "DETECTOR":
                 col = np.zeros(shots, dtype=bool)
                 for idx in op.targets:

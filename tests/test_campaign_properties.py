@@ -19,8 +19,12 @@ from hypothesis import strategies as st
 from repro.experiments.campaign import CampaignJob
 from repro.experiments.store import ResultStore
 from repro.noise import (
+    PROFILE_GATE_CLASSES,
     BiasedPauliChannel,
+    CorrelatedPauliChannel,
     DepolarizingChannel,
+    DeviceProfile,
+    DriftSchedule,
     NoiseSpec,
     noise_display,
     resolve_noise,
@@ -30,6 +34,7 @@ from repro.noise import (
 
 probs = st.floats(1e-6, 0.2, allow_nan=False, allow_infinity=False)
 etas = st.floats(0.01, 1000.0, allow_nan=False, allow_infinity=False)
+multipliers = st.floats(0.1, 3.0, allow_nan=False, allow_infinity=False)
 
 channels = st.one_of(
     st.none(),
@@ -37,13 +42,46 @@ channels = st.one_of(
     st.builds(BiasedPauliChannel, p=probs, eta=etas),
 )
 
+# The CNOT slot additionally admits the genuinely correlated channel
+# (ARITY=2 — it cannot ride the single-qubit slots).
+cnot_channels = st.one_of(
+    channels,
+    st.builds(
+        CorrelatedPauliChannel.depolarizing, st.floats(1e-6, 0.2, allow_nan=False)
+    ),
+)
+
+profiles = st.one_of(
+    st.none(),
+    st.builds(
+        DeviceProfile,
+        qubits=st.dictionaries(st.integers(0, 8), multipliers, max_size=4),
+        gates=st.dictionaries(
+            st.sampled_from(PROFILE_GATE_CLASSES), multipliers, max_size=3
+        ),
+        default=multipliers,
+    ),
+)
+
+drifts = st.one_of(
+    st.none(),
+    st.builds(
+        DriftSchedule,
+        multipliers=st.lists(multipliers, min_size=1, max_size=5).map(tuple),
+        mode=st.sampled_from(["hold", "cycle"]),
+    ),
+)
+
 specs = st.builds(
     NoiseSpec,
     sq=channels,
-    cnot=channels,
+    cnot=cnot_channels,
     meas=channels,
     readout=st.floats(0.0, 0.2, allow_nan=False, allow_infinity=False),
     idle_strength=st.floats(0.0, 0.1, allow_nan=False, allow_infinity=False),
+    crosstalk=st.floats(0.0, 0.2, allow_nan=False, allow_infinity=False),
+    profile=profiles,
+    drift=drifts,
 )
 
 
@@ -58,7 +96,32 @@ def _perturb_channel(channel):
         return DepolarizingChannel(p=0.0123)
     if isinstance(channel, DepolarizingChannel):
         return DepolarizingChannel(p=_alt(channel.p, 0.017, 0.019))
+    if isinstance(channel, CorrelatedPauliChannel):
+        probs = list(channel.probs)
+        probs[4] = _alt(probs[4], 0.011, 0.013)  # the XX entry
+        return CorrelatedPauliChannel(probs=tuple(probs))
     return BiasedPauliChannel(p=channel.p, eta=_alt(channel.eta, 7.0, 13.0))
+
+
+def _perturb_profile(profile):
+    """Change one calibration entry (non-uniform, so it survives the
+    spec's no-op normalization)."""
+    if profile is None:
+        return DeviceProfile(qubits={0: 1.7})
+    return DeviceProfile(
+        qubits={**profile.qubits, 0: _alt(profile.qubit_scale(0), 1.9, 2.3)},
+        gates=profile.gates,
+        default=profile.default,
+    )
+
+
+def _perturb_drift(drift):
+    if drift is None:
+        return DriftSchedule(multipliers=(1.0, 1.3))
+    first = _alt(drift.multipliers[0], 1.7, 2.1)
+    return DriftSchedule(
+        multipliers=(first,) + drift.multipliers[1:], mode=drift.mode
+    )
 
 
 _FIELD_PERTURBATIONS = {
@@ -67,6 +130,9 @@ _FIELD_PERTURBATIONS = {
     "meas": _perturb_channel,
     "readout": lambda v: _alt(v, 0.031, 0.057),
     "idle_strength": lambda v: _alt(v, 0.021, 0.043),
+    "crosstalk": lambda v: _alt(v, 0.013, 0.027),
+    "profile": _perturb_profile,
+    "drift": _perturb_drift,
 }
 
 # Perturbing the channel *kind* at equal parameters must also change the
@@ -98,6 +164,71 @@ class TestNoiseSpecReachesJobKey:
             with_a = dataclasses.replace(spec, **{slot: a})
             with_b = dataclasses.replace(spec, **{slot: b})
             assert _job_with(with_a).key() != _job_with(with_b).key()
+
+    def test_correlated_kind_swap_changes_key(self):
+        """Uniform-split correlated noise is *marginally* identical to
+        depolarizing — the lowering difference must still reach the key."""
+        dep = NoiseSpec(cnot=DepolarizingChannel(p=0.01))
+        cor = NoiseSpec(cnot=CorrelatedPauliChannel.depolarizing(0.01))
+        assert _job_with(dep).key() != _job_with(cor).key()
+
+    @settings(deadline=None)
+    @given(idx=st.integers(0, 14))
+    def test_each_correlated_pair_prob_reaches_key(self, idx):
+        base = CorrelatedPauliChannel.depolarizing(0.015)
+        probs = list(base.probs)
+        probs[idx] += 1e-4
+        a = NoiseSpec(cnot=base)
+        b = NoiseSpec(cnot=CorrelatedPauliChannel(probs=tuple(probs)))
+        assert _job_with(a).key() != _job_with(b).key()
+
+    @settings(deadline=None)
+    @given(q=st.integers(0, 5))
+    def test_each_profile_qubit_entry_reaches_key(self, q):
+        base = NoiseSpec.depolarizing(0.01, profile=DeviceProfile(qubits={9: 1.5}))
+        bumped = NoiseSpec.depolarizing(
+            0.01, profile=DeviceProfile(qubits={9: 1.5, q: 1.2})
+        )
+        assert _job_with(base).key() != _job_with(bumped).key()
+
+    @settings(deadline=None)
+    @given(gate_class=st.sampled_from(PROFILE_GATE_CLASSES))
+    def test_each_profile_gate_entry_reaches_key(self, gate_class):
+        base = NoiseSpec.depolarizing(0.01, profile=DeviceProfile(qubits={0: 1.5}))
+        bumped = NoiseSpec.depolarizing(
+            0.01,
+            profile=DeviceProfile(qubits={0: 1.5}, gates={gate_class: 1.2}),
+        )
+        assert _job_with(base).key() != _job_with(bumped).key()
+
+    @settings(deadline=None)
+    @given(idx=st.integers(0, 3))
+    def test_each_drift_multiplier_reaches_key(self, idx):
+        base = DriftSchedule(multipliers=(1.1, 1.2, 1.3, 1.4))
+        bumped = tuple(
+            m + (0.05 if i == idx else 0.0) for i, m in enumerate(base.multipliers)
+        )
+        a = NoiseSpec.depolarizing(0.01, drift=base)
+        b = NoiseSpec.depolarizing(0.01, drift=DriftSchedule(multipliers=bumped))
+        assert _job_with(a).key() != _job_with(b).key()
+
+    def test_drift_mode_reaches_key(self):
+        hold = NoiseSpec.depolarizing(0.01, drift=DriftSchedule((1.0, 2.0)))
+        cycle = NoiseSpec.depolarizing(
+            0.01, drift=DriftSchedule((1.0, 2.0), mode="cycle")
+        )
+        assert _job_with(hold).key() != _job_with(cycle).key()
+
+    def test_uniform_profile_and_drift_are_key_noops(self):
+        """The converse guarantee: physically identical scenarios (all
+        multipliers exactly 1) content-address identically."""
+        bare = NoiseSpec.depolarizing(0.01)
+        dressed = NoiseSpec.depolarizing(
+            0.01,
+            profile=DeviceProfile(qubits={0: 1.0}, default=1.0),
+            drift=DriftSchedule((1.0, 1.0)),
+        )
+        assert _job_with(bare).key() == _job_with(dressed).key()
 
     @settings(deadline=None)
     @given(spec=specs)
@@ -159,6 +290,10 @@ class TestNoiseTokens:
                 "biased:10",
                 "biased:10,pm=0.003",
                 "biased:10,pm=3p",
+                "correlated",
+                "correlated,ct=2p",
+                "depolarizing,ct=0.003",
+                "pm=0.003,ct=0.003",
             )
         ]
         keys = {j.key() for j in jobs}

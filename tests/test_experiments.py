@@ -101,6 +101,7 @@ class TestRunnerRegistry:
             "fig15",
             "fig15bias",
             "fig16",
+            "figcalib",
             "table1",
             "table2",
         }

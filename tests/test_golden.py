@@ -17,6 +17,7 @@ from repro.experiments import (
     fig12_benchmarks,
     fig15_bias,
     fig15_idle,
+    figcalib,
 )
 from repro.experiments.campaign import CampaignSpec, export_rows, run_campaign
 from repro.experiments.common import ExperimentResult
@@ -92,3 +93,11 @@ class TestFigureTableGolden:
             store=tmp_path / "s",
         )
         golden.check("fig15_bias_table.txt", result.format_table() + "\n")
+
+    def test_figcalib_table(self, tmp_path, golden):
+        result = figcalib.run(
+            p_values=(3e-3,),
+            shots=256,
+            store=tmp_path / "s",
+        )
+        golden.check("figcalib_table.txt", result.format_table() + "\n")

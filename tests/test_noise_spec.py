@@ -21,13 +21,17 @@ from repro.experiments.shotrunner import run_shot_chunks
 from repro.noise import (
     CHANNEL_REGISTRY,
     BiasedPauliChannel,
+    CorrelatedPauliChannel,
     DepolarizingChannel,
+    DeviceProfile,
+    DriftSchedule,
     GateChannel,
     NoiseModel,
     NoiseSpec,
     channel_from_payload,
     register_channel,
     resolve_noise,
+    synthetic_profile,
 )
 from repro.rareevent import estimate_ler_stratified
 
@@ -230,10 +234,39 @@ class TestResolution:
         assert resolve_noise(payload, 9e-1) == NoiseSpec.biased(2e-3, eta=10.0)
 
     def test_bad_tokens_rejected(self):
-        with pytest.raises(KeyError):
+        # Bad tokens normalize to ValueError naming the offender —
+        # never a bare KeyError/float-parse traceback.
+        with pytest.raises(ValueError, match="unknown noise token"):
             resolve_noise("quantum-gravity", 1e-3)
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown noise clause 'volume=11'"):
             resolve_noise("biased:10,volume=11", 1e-3)
+        with pytest.raises(ValueError, match="malformed bias eta 'big'"):
+            resolve_noise("biased:big", 1e-3)
+
+    def test_bare_relative_readout_clause(self):
+        # "pm=p" (coefficient omitted) means 1*p; it used to crash with
+        # an unhelpful float('') ValueError.
+        assert resolve_noise("pm=p", 2e-3).readout == 2e-3
+        assert resolve_noise("biased:10,pm=p", 2e-3).readout == 2e-3
+
+    def test_malformed_clause_values_name_the_clause(self):
+        with pytest.raises(ValueError, match="malformed noise clause pm='x2p'"):
+            resolve_noise("pm=x2p", 1e-3)
+        with pytest.raises(ValueError, match="malformed noise clause ct=''"):
+            resolve_noise("depolarizing,ct=", 1e-3)
+
+    def test_duplicate_clauses_rejected(self):
+        # Last-wins duplicates used to be silently accepted.
+        with pytest.raises(ValueError, match="duplicate noise clause 'pm'"):
+            resolve_noise("biased:2,pm=0.01,pm=0.02", 1e-3)
+        with pytest.raises(ValueError, match="duplicate noise clause 'ct'"):
+            resolve_noise("pm=0.01,ct=2p,ct=3p", 1e-3)
+
+    def test_crosstalk_clause_threads_through_tokens(self):
+        spec = resolve_noise("correlated,ct=2p,pm=0.004", 1e-3)
+        assert spec.crosstalk == 2e-3
+        assert spec.readout == 0.004
+        assert spec.cnot == CorrelatedPauliChannel.depolarizing(1e-3)
 
     def test_misspelled_payload_fields_rejected(self):
         """Unknown payload keys fail loudly: a typo'd field must not
@@ -298,3 +331,190 @@ class TestBiasedPhysics:
         s_lo, s_hi = strat.interval
         d_lo, d_hi = direct.interval
         assert s_lo <= d_hi and d_lo <= s_hi, (strat, direct)
+
+
+class TestCorrelatedChannel:
+    def test_needs_15_probs(self):
+        with pytest.raises(ValueError, match="15 pair probabilities"):
+            CorrelatedPauliChannel(probs=(0.01,) * 3)
+
+    def test_total_bounded(self):
+        with pytest.raises(ValueError, match="sum"):
+            CorrelatedPauliChannel(probs=(0.1,) * 15)
+
+    def test_lowers_to_pauli_channel_2(self):
+        ch = CorrelatedPauliChannel.from_pairs({"XX": 0.01, "ZZ": 0.02})
+        ((gate, targets, args),) = ch.ops((3, 7), arity=2)
+        assert gate == "PAULI_CHANNEL_2"
+        assert targets == (3, 7)
+        assert args[4] == 0.01 and args[14] == 0.02 and sum(args) == 0.03
+
+    def test_rejects_single_qubit_slots(self):
+        ch = CorrelatedPauliChannel.depolarizing(0.01)
+        with pytest.raises(ValueError, match="cannot attach"):
+            ch.ops((0,), arity=1)
+        # ...and the spec catches the misconfiguration at construction.
+        with pytest.raises(ValueError, match="'sq' slot"):
+            NoiseSpec(sq=ch)
+        with pytest.raises(ValueError, match="'meas' slot"):
+            NoiseSpec(meas=ch)
+
+    def test_payload_roundtrip(self):
+        ch = CorrelatedPauliChannel.from_pairs({"XY": 1e-3})
+        assert channel_from_payload(ch.to_payload()) == ch
+
+    def test_unknown_pair_labels_rejected(self):
+        with pytest.raises(ValueError, match="unknown two-qubit Pauli labels"):
+            CorrelatedPauliChannel.from_pairs({"XQ": 0.1})
+
+    def test_spec_lowering_emits_pauli_channel_2(self):
+        noisy = NoiseSpec.correlated(0.01).apply(tiny_circuit())
+        ((op),) = [op for op in noisy if op.gate == "PAULI_CHANNEL_2"]
+        assert op.targets == (0, 1)
+        assert op.args == (0.01 / 15,) * 15
+
+
+class TestDeviceProfile:
+    def test_scale_composes_gate_and_qubit_means(self):
+        prof = DeviceProfile(qubits={0: 2.0, 1: 4.0}, gates={"cnot": 1.5})
+        assert prof.scale("cnot", (0, 1)) == 1.5 * 3.0
+        assert prof.scale("sq", (0,)) == 2.0
+        assert prof.scale("sq", (5,)) == 1.0  # default
+
+    def test_unknown_gate_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown device-profile gate classes"):
+            DeviceProfile(gates={"cz": 2.0})
+
+    def test_payload_roundtrip(self):
+        prof = DeviceProfile(qubits={3: 1.7}, gates={"readout": 2.0}, default=0.9)
+        assert DeviceProfile.from_payload(prof.to_payload()) == prof
+
+    def test_profile_splits_lowered_ops_by_factor(self):
+        prof = DeviceProfile(qubits={0: 2.0})
+        spec = NoiseSpec.depolarizing(0.01, profile=prof)
+        noisy = spec.apply(tiny_circuit())
+        # R [0, 1] lowers to two DEPOLARIZE1 ops now: qubit 0 at 2x.
+        d1 = [op for op in noisy if op.gate == "DEPOLARIZE1"]
+        assert (tuple(d1[0].targets), d1[0].args) == ((0,), (0.02,))
+        assert (tuple(d1[1].targets), d1[1].args) == ((1,), (0.01,))
+        # The CNOT pair averages the qubit multipliers: (2 + 1) / 2.
+        (d2,) = [op for op in noisy if op.gate == "DEPOLARIZE2"]
+        assert d2.args == (0.015,)
+
+    def test_uniform_profile_is_lowering_noop(self):
+        base = NoiseSpec.depolarizing(0.01, readout=0.002)
+        uniform = NoiseSpec.depolarizing(
+            0.01, readout=0.002, profile=DeviceProfile(qubits={0: 1.0})
+        )
+        assert [
+            (op.gate, tuple(op.targets), op.args) for op in base.apply(tiny_circuit())
+        ] == [
+            (op.gate, tuple(op.targets), op.args)
+            for op in uniform.apply(tiny_circuit())
+        ]
+        # ...and content-addresses identically.
+        assert uniform.key() == base.key()
+
+    def test_overscaling_fails_loudly(self):
+        prof = DeviceProfile(qubits={0: 100.0, 1: 100.0})
+        with pytest.raises(ValueError, match="pushes DEPOLARIZE1"):
+            NoiseSpec.depolarizing(0.5, profile=prof).apply(tiny_circuit())
+
+    def test_synthetic_profile_deterministic(self):
+        assert synthetic_profile(9, seed=3) == synthetic_profile(9, seed=3)
+        assert synthetic_profile(9, seed=3) != synthetic_profile(9, seed=4)
+        assert not synthetic_profile(9).is_uniform()
+
+    def test_payload_roundtrips_through_spec(self):
+        spec = NoiseSpec.depolarizing(0.01, profile=synthetic_profile(5, seed=1))
+        assert NoiseSpec.from_payload(spec.to_payload()) == spec
+
+
+class TestDriftSchedule:
+    def test_hold_and_cycle_indexing(self):
+        hold = DriftSchedule((1.0, 2.0, 3.0))
+        assert [hold.factor(r) for r in (-1, 0, 2, 5)] == [1.0, 1.0, 3.0, 3.0]
+        cyc = DriftSchedule((1.0, 2.0, 3.0), mode="cycle")
+        assert [cyc.factor(r) for r in (3, 4)] == [1.0, 2.0]
+
+    def test_linear_ramp(self):
+        sched = DriftSchedule.linear(1.0, 2.0, 5)
+        assert sched.multipliers == (1.0, 1.25, 1.5, 1.75, 2.0)
+
+    def test_payload_roundtrip(self):
+        sched = DriftSchedule((0.5, 1.5), mode="cycle")
+        assert DriftSchedule.from_payload(sched.to_payload()) == sched
+        with pytest.raises(ValueError, match="unknown drift-schedule fields"):
+            DriftSchedule.from_payload({"multipliers": [1.0], "model": "hold"})
+
+    def test_drift_scales_rounds_independently(self):
+        c = Circuit()
+        c.append("CNOT", [0, 1], label=("cnot", "x", 0, 1, 0))
+        c.tick()
+        c.append("CNOT", [0, 1], label=("cnot", "x", 0, 1, 1))
+        spec = NoiseSpec.depolarizing(0.01, drift=DriftSchedule((1.0, 3.0)))
+        d2 = [op for op in spec.apply(c) if op.gate == "DEPOLARIZE2"]
+        assert [op.args for op in d2] == [(0.01,), (0.03,)]
+
+    def test_unlabeled_circuit_uses_round_zero(self):
+        spec = NoiseSpec.depolarizing(0.01, drift=DriftSchedule((2.0, 9.0)))
+        d2 = [op for op in spec.apply(tiny_circuit()) if op.gate == "DEPOLARIZE2"]
+        assert [op.args for op in d2] == [(0.02,)]
+
+    def test_uniform_drift_keeps_key(self):
+        base = NoiseSpec.depolarizing(0.01)
+        held = NoiseSpec.depolarizing(0.01, drift=DriftSchedule((1.0, 1.0)))
+        assert held.key() == base.key()
+
+
+class TestMeasurementCrosstalk:
+    def test_chain_pairs_same_basis_measurements(self):
+        c = Circuit()
+        c.append("M", [0])
+        c.append("M", [1])
+        c.append("MX", [2])
+        c.append("M", [3])
+        noisy = NoiseSpec(crosstalk=0.01).apply(c)
+        pc2 = [op for op in noisy if op.gate == "PAULI_CHANNEL_2"]
+        # Three M qubits -> chain (0,1), (1,3); single MX qubit -> none.
+        assert [tuple(op.targets) for op in pc2] == [(0, 1), (1, 3)]
+        for op in pc2:
+            assert op.args[4] == 0.01 and sum(op.args) == 0.01  # XX flavor
+        # Injected before the layer's first measurement.
+        gates = [op.gate for op in noisy]
+        assert gates.index("PAULI_CHANNEL_2") < gates.index("M")
+
+    def test_mx_pairs_use_zz_flavor(self):
+        c = Circuit()
+        c.append("MX", [0])
+        c.append("MX", [1])
+        (op,) = [
+            op
+            for op in NoiseSpec(crosstalk=0.02).apply(c)
+            if op.gate == "PAULI_CHANNEL_2"
+        ]
+        assert op.args[14] == 0.02 and sum(op.args) == 0.02
+
+    def test_ticks_reset_pairing(self):
+        c = Circuit()
+        c.append("M", [0])
+        c.tick()
+        c.append("M", [1])
+        noisy = NoiseSpec(crosstalk=0.01).apply(c)
+        assert not [op for op in noisy if op.gate == "PAULI_CHANNEL_2"]
+
+    def test_crosstalk_flips_neighboring_readouts(self):
+        """The correlated flip really lands on both outcomes at once."""
+        c = Circuit()
+        c.append("R", [0, 1])
+        c.tick()
+        c.append("M", [0])
+        c.append("M", [1])
+        c.append("DETECTOR", [0], label=(0, "z", 0))
+        c.append("DETECTOR", [1], label=(0, "z", 1))
+        from repro.sim import FrameSimulator
+
+        batch = FrameSimulator(NoiseSpec(crosstalk=1.0).apply(c)).sample_dense(
+            shots=64, rng=np.random.default_rng(0)
+        )
+        assert batch.detectors.all()  # both readouts flip in every shot

@@ -20,7 +20,15 @@ import numpy as np
 import pytest
 
 from repro.circuits.circuit import Circuit
-from repro.noise import BiasedPauliChannel, DepolarizingChannel, NoiseSpec
+from repro.circuits.gates import register_noise_gate, unregister_noise_gate
+from repro.noise import (
+    BiasedPauliChannel,
+    CorrelatedPauliChannel,
+    DepolarizingChannel,
+    DeviceProfile,
+    DriftSchedule,
+    NoiseSpec,
+)
 from repro.sim import DemSampler, FrameSimulator, extract_dem
 from repro.sim.bitbatch import BitSampleBatch, SampleBatch, pack_shots, unpack_shots
 
@@ -71,9 +79,13 @@ def random_clifford_noise_circuit(
             pass
         elif choice < 0.4:
             circ.append("DEPOLARIZE1", tuple(range(num_qubits)), (p,))
-        elif choice < 0.7:
+        elif choice < 0.6:
             pair = tuple(int(q) for q in rng.choice(num_qubits, 2, replace=False))
             circ.append("DEPOLARIZE2", pair, (p,))
+        elif choice < 0.75:
+            pair = tuple(int(q) for q in rng.choice(num_qubits, 2, replace=False))
+            probs = rng.dirichlet(np.ones(15)) * p
+            circ.append("PAULI_CHANNEL_2", pair, tuple(float(x) for x in probs))
         else:
             circ.append(
                 "PAULI_CHANNEL_1", tuple(range(num_qubits)), (p / 2, p / 4, p / 4)
@@ -192,21 +204,45 @@ class TestCrossSimulatorMarginals:
 def random_noise_spec(rng: np.random.Generator) -> NoiseSpec:
     """Draw a random scenario mixing every registered channel axis."""
 
-    def channel():
+    def channel(two_qubit: bool = False):
         r = rng.random()
         if r < 0.25:
             return None
         p = float(rng.uniform(0.002, 0.015))
-        if r < 0.6:
+        if r < 0.55:
             return DepolarizingChannel(p)
+        if two_qubit and r < 0.75:
+            return CorrelatedPauliChannel.depolarizing(p)
         return BiasedPauliChannel(p, eta=float(rng.choice([0.5, 2.0, 10.0, 100.0])))
 
+    profile = None
+    if rng.random() < 0.4:
+        # Modest multipliers: scaled rates stay in the O(p^2) regime the
+        # marginal-agreement slack was tuned for.
+        profile = DeviceProfile(
+            qubits={
+                q: round(float(rng.uniform(0.6, 1.6)), 3)
+                for q in range(int(rng.integers(1, 5)))
+            },
+            gates={"cnot": 1.3} if rng.random() < 0.5 else {},
+        )
+    drift = None
+    if rng.random() < 0.4:
+        drift = DriftSchedule(
+            multipliers=tuple(
+                round(float(m), 3) for m in rng.uniform(0.6, 1.6, size=3)
+            ),
+            mode=str(rng.choice(["hold", "cycle"])),
+        )
     return NoiseSpec(
         sq=channel(),
-        cnot=channel(),
+        cnot=channel(two_qubit=True),
         meas=channel(),
         readout=float(rng.choice([0.0, 0.004, 0.01])),
         idle_strength=float(rng.choice([0.0, 0.0, 0.01])),
+        crosstalk=float(rng.choice([0.0, 0.003, 0.008])),
+        profile=profile,
+        drift=drift,
     )
 
 
@@ -221,6 +257,31 @@ TARGETED_SPECS = {
     "meas-biased": NoiseSpec(meas=BiasedPauliChannel(0.01, eta=0.5)),
     "readout-only": NoiseSpec(readout=0.01),
     "idle-only": NoiseSpec(idle_strength=0.01),
+    "cnot-correlated": NoiseSpec(cnot=CorrelatedPauliChannel.depolarizing(0.01)),
+    "cnot-correlated-sparse": NoiseSpec(
+        cnot=CorrelatedPauliChannel.from_pairs(
+            {"XX": 0.004, "IZ": 0.003, "ZY": 0.002}
+        )
+    ),
+    "crosstalk-only": NoiseSpec(crosstalk=0.01),
+    "profile-hot-qubit": NoiseSpec.depolarizing(
+        0.01,
+        readout=0.005,
+        profile=DeviceProfile(qubits={0: 2.0, 2: 0.5}, gates={"cnot": 1.3}),
+    ),
+    "drift-ramp": NoiseSpec.depolarizing(
+        0.01, drift=DriftSchedule.linear(0.5, 1.5, 4)
+    ),
+    "calibrated-kitchen-sink": NoiseSpec(
+        sq=DepolarizingChannel(0.008),
+        cnot=CorrelatedPauliChannel.depolarizing(0.01),
+        meas=BiasedPauliChannel(0.006, eta=10.0),
+        readout=0.005,
+        idle_strength=0.01,
+        crosstalk=0.004,
+        profile=DeviceProfile(qubits={0: 1.6, 2: 0.7}, gates={"readout": 1.4}),
+        drift=DriftSchedule((0.8, 1.2), mode="cycle"),
+    ),
 }
 
 
@@ -313,6 +374,76 @@ class TestNoiseSpecLitmus:
             assert 0.25 * 4096 < counts[d] < 0.35 * 4096
         dem = extract_dem(noisy)
         assert all(len(m.detectors) == 1 for m in dem.mechanisms)
+
+    def test_correlated_uniform_split_matches_depolarize2_dem(self):
+        """The correlated channel's uniform p/15 split enumerates the
+        exact mechanism set DEPOLARIZE2 does — the two lowerings must
+        produce fingerprint-identical error models."""
+        circ = random_clifford_noise_circuit(
+            np.random.default_rng(21), include_noise=False
+        )
+        legacy = NoiseSpec.depolarizing(0.01).apply(circ)
+        correlated = NoiseSpec.correlated(0.01).apply(circ)
+        assert (
+            extract_dem(legacy).fingerprint()
+            == extract_dem(correlated).fingerprint()
+        )
+
+    def test_crosstalk_mechanism_is_correlated_in_dem(self):
+        """Measurement crosstalk must appear as ONE mechanism flipping
+        both neighboring detectors — not two independent singles."""
+        circ = Circuit()
+        circ.append("R", (0, 1))
+        circ.tick()
+        circ.append("M", (0,))
+        circ.append("M", (1,))
+        circ.append("DETECTOR", (0,))
+        circ.append("DETECTOR", (1,))
+        dem = extract_dem(NoiseSpec(crosstalk=0.01).apply(circ))
+        assert [m.detectors for m in dem.mechanisms] == [(0, 1)]
+        assert dem.mechanisms[0].prob == pytest.approx(0.01)
+
+
+class TestNoiseGateStrictness:
+    """Unrecognized noise gates fail loudly in every lowering consumer.
+
+    Before the fix, ``_enumerate_noise_sites`` silently skipped gates
+    outside its handled set: the decoder would run happily against a DEM
+    missing mechanisms.  The frame simulator mirrors the same guard.
+    """
+
+    def _stub_circuit(self) -> Circuit:
+        circ = Circuit()
+        circ.append("R", (0,))
+        circ.append("STUB_NOISE", (0,), (0.01,))
+        circ.tick()
+        circ.append("M", (0,))
+        circ.append("DETECTOR", (0,))
+        return circ
+
+    def test_unhandled_noise_gate_raises_everywhere(self):
+        register_noise_gate("STUB_NOISE", arity=1, num_args=1)
+        try:
+            circ = self._stub_circuit()
+            with pytest.raises(
+                ValueError, match="no lowering for noise gate 'STUB_NOISE'"
+            ):
+                extract_dem(circ)
+            sim = FrameSimulator(circ)
+            with pytest.raises(
+                ValueError, match="no lowering for noise gate 'STUB_NOISE'"
+            ):
+                sim.sample_packed(8, np.random.default_rng(0))
+            with pytest.raises(
+                ValueError, match="no lowering for noise gate 'STUB_NOISE'"
+            ):
+                sim.sample_dense(8, np.random.default_rng(0))
+        finally:
+            unregister_noise_gate("STUB_NOISE")
+
+    def test_unregistered_gate_rejected_at_append(self):
+        with pytest.raises(ValueError):
+            self._stub_circuit()
 
 
 class TestBitBatchRepresentation:

@@ -398,3 +398,56 @@ class TestStreamDecode:
         obs.registry.reset()
         assert a.failures == b.failures
         assert a.matches_offline is True and b.matches_offline is True
+
+
+class TestDriftingScenarioStreaming:
+    """The round-folding audit for round-indexed drift.
+
+    Drift changes per-round mechanism *probabilities* but never touches
+    detector labels, so (a) the layout derived from a drifting DEM must
+    be identical to the uniform one, and (b) the windowed-commit
+    bit-identity contract must hold unchanged on drifting syndromes.
+    """
+
+    def _dems(self):
+        from repro.noise import DeviceProfile, DriftSchedule, NoiseSpec
+
+        code = rotated_surface_code(3)
+        sched = coloration_schedule(code)
+        uniform = NoiseSpec.depolarizing(3e-3, readout=2e-3)
+        drifting = NoiseSpec.depolarizing(
+            3e-3,
+            readout=2e-3,
+            crosstalk=1e-3,
+            profile=DeviceProfile(qubits={0: 1.8, 5: 0.6}),
+            drift=DriftSchedule.linear(0.6, 1.8, 3),
+        )
+        return (
+            dem_for(code, sched, uniform, basis="z", rounds=3),
+            dem_for(code, sched, drifting, basis="z", rounds=3),
+        )
+
+    def test_drift_preserves_round_layout(self):
+        uniform_dem, drifting_dem = self._dems()
+        assert (
+            RoundLayout.from_dem(drifting_dem).slices
+            == RoundLayout.from_dem(uniform_dem).slices
+        )
+        # ...but the error model itself really is different physics.
+        assert drifting_dem.fingerprint() != uniform_dem.fingerprint()
+        assert drifting_dem.num_detectors == uniform_dem.num_detectors
+
+    @pytest.mark.parametrize("shots", SUBWORD_SHOTS)
+    def test_windowed_commit_bit_identity_under_drift(self, shots):
+        _, drifting_dem = self._dems()
+        batch = DemSampler(drifting_dem).sample_packed(
+            shots, np.random.default_rng(17)
+        )
+        # Crosstalk mechanisms flip two readouts at once (hyperedges),
+        # so the drifting DEM is not graph-like — BP+OSD decodes it.
+        dec = BpOsdDecoder(drifting_dem)
+        committed, _, _ = windowed_corrections(
+            drifting_dem, dec, batch, WindowConfig(2, 1)
+        )
+        offline = dec.decode_batch_packed(batch)
+        assert np.array_equal(committed.observables, offline.observables)
